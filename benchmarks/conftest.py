@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper table/figure through
+:mod:`repro.bench.experiments` and asserts the paper's qualitative
+claims on the result.  Experiments are deterministic models (not noisy
+measurements), so every benchmark runs exactly once
+(``benchmark.pedantic(rounds=1)``) and the interesting output is the
+printed table plus the assertions, with wall-time as a bonus metric.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        print()
+        print(result)
+        return result
+
+    return runner

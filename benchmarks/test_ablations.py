@@ -1,0 +1,50 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.bench.ablation import (
+    bandwidth_sensitivity,
+    occupancy_floor_sweep,
+    quantization_overhead,
+    shuffle_threshold_sweep,
+)
+
+
+def test_bandwidth_sensitivity(run_once):
+    result = run_once(bandwidth_sensitivity)
+    speedups = result.column("speedup")
+    # VQ-LLM wins at every bandwidth point...
+    assert min(speedups) > 1.0
+    # ...and the advantage is larger when bandwidth is scarcer
+    # (generalising the paper's A40 > 4090 observation).
+    assert speedups[0] >= speedups[-1]
+
+
+def test_shuffle_threshold(run_once):
+    result = run_once(shuffle_threshold_sweep)
+    rows = {r["threshold"]: r for r in result.as_dicts()}
+    # At the paper's threshold (5): QuiP# GeMM fuses in registers
+    # (3 shuffles) but its GeMV does not (7 shuffles).
+    assert rows[5]["quip#-4-gemm"] == "register"
+    assert rows[5]["quip#-4-gemv"] == "shared"
+    # A permissive threshold flips the GeMV too.
+    assert rows[15]["quip#-4-gemv"] == "register"
+    # A zero threshold disables register fusion everywhere mismatched.
+    assert rows[0]["gptvq-2-gemm"] == "shared"
+
+
+def test_occupancy_floor(run_once):
+    result = run_once(occupancy_floor_sweep)
+    rows = {r["min_occupancy"]: r for r in result.as_dicts()}
+    # A higher floor shrinks the cache.
+    assert rows[0.9]["n_shared"] <= rows[0.1]["n_shared"]
+    # The default floor (0.25) is within 25% of the best sweep point.
+    best = min(r["latency_us"] for r in rows.values())
+    assert rows[0.25]["latency_us"] <= best * 1.25
+
+
+def test_quantization_overhead(run_once):
+    result = run_once(quantization_overhead)
+    metrics = dict(result.rows)
+    # Paper Sec. VII-F: prefill quantization < 10% of the projections,
+    # decode encoding ~ negligible (< 1 us/token even conservatively).
+    assert metrics["encode_vs_projection"] < 0.10
+    assert metrics["decode_encode_us_per_token"] < 1.0

@@ -1,0 +1,24 @@
+"""Fig. 4: naive VQ attention underperforms FP16; counter diagnosis."""
+
+from repro.bench.experiments import fig04_motivation
+
+
+def test_fig04(run_once):
+    result = run_once(fig04_motivation)
+    rows = {r["version"]: r for r in result.as_dicts()}
+    fp16, gc, sc = (rows["FP16-attn"], rows["VQ-attn-GC"],
+                    rows["VQ-attn-SC"])
+
+    # Both naive VQ versions are slower than FP16 despite the 8x
+    # smaller KV cache.
+    assert gc["rel_latency"] > 1.0
+    assert sc["rel_latency"] > 1.0
+    # SC outperforms GC (Fig. 4 left).
+    assert sc["latency_us"] < gc["latency_us"]
+    # SC's counters: occupancy drop > 30%, ~3x shared usage, high bank
+    # conflicts, more global->shared traffic than FP16 (Fig. 4 right).
+    assert sc["occupancy"] < 0.7 * fp16["occupancy"]
+    assert sc["smem_per_block"] > 2 * fp16["smem_per_block"]
+    assert sc["bank_conflicts"] > 0
+    assert sc["global_to_shared_MB"] > fp16["global_to_shared_MB"]
+    assert sc["shared_to_reg_MB"] > fp16["shared_to_reg_MB"]

@@ -1,0 +1,16 @@
+"""Fig. 8: codebook entry access frequency is heavily skewed (AQLM-3)."""
+
+from repro.bench.experiments import fig08_hotness
+
+
+def test_fig08(run_once):
+    result = run_once(fig08_hotness)
+    metrics = dict(result.rows)
+    # Over half of the entries are accessed less than the mean.
+    assert metrics["below_mean_fraction"] > 0.5
+    # A handful of entries exceed mu + 3 sigma (paper: 26 for AQLM-3;
+    # 15-30 in Tbl. V).
+    assert 5 <= metrics["hot_entries_mu_3sigma"] <= 60
+    # The hot head covers far more than its uniform share.
+    uniform_32 = 32 / metrics["n_entries"]
+    assert metrics["top32_coverage"] > 4 * uniform_32

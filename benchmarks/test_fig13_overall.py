@@ -1,0 +1,29 @@
+"""Fig. 13: overall latency reduction of the best version vs GC."""
+
+import numpy as np
+
+from repro.bench.experiments import fig13_overall
+
+
+def test_fig13_llama7b(run_once):
+    result = run_once(fig13_overall, "7b")
+    reductions = result.column("reduction")
+    # Every workload improves over the unoptimized version.
+    assert min(reductions) >= 0.0
+    # The mean reduction is substantial (paper: 46% mean; our GC
+    # baseline models the dependent-load stalls more harshly, so the
+    # model lands above — the ordering, not the constant, is the claim).
+    assert np.mean(reductions) > 0.35
+    assert max(reductions) > 0.5
+    # Attention gains grow with batch (paper Sec. VII-B): KV caches are
+    # per-sample, weights are shared.
+    rows = {(r["kernel"], r["algorithm"]): r["reduction"]
+            for r in result.as_dicts()}
+    assert rows[("Attn 1k BS8", "cq-2")] >= rows[("Attn 1k BS1", "cq-2")]
+
+
+def test_fig13_llama65b_scales(run_once):
+    result = run_once(fig13_overall, "65b")
+    # Larger model: same qualitative picture (paper: near-identical
+    # speedups thanks to trivially assembled operators).
+    assert np.mean(result.column("reduction")) > 0.3

@@ -1,0 +1,44 @@
+"""Fig. 14: GeMM / GeMV optimization breakdown (GC..O4)."""
+
+from repro.bench.experiments import fig14_breakdown
+
+
+def test_fig14_gemm(run_once):
+    result = run_once(fig14_breakdown, "gemm")
+    rows = {r["algorithm"]: r for r in result.as_dicts()}
+
+    # QuiP#: SC == O1 (2 KB codebook needs no hierarchy).
+    quip = rows["quip#-4"]
+    assert abs(quip["O1"] - quip["SC"]) / quip["SC"] < 0.05
+    # O3's forced residual split hurts QuiP# GeMM (redundant compute)...
+    assert quip["O3"] > quip["O2"] * 1.3
+    # ...and the adaptive O4 recovers.
+    assert quip["O4"] < quip["O3"]
+
+    # AQLM tolerates redundant compute better than QuiP# (unpack-bound).
+    aqlm = rows["aqlm-3"]
+    assert (aqlm["O3"] / aqlm["O2"]) < (quip["O3"] / quip["O2"])
+    # O4's register fusion frees staging smem: big GeMM win for AQLM.
+    assert aqlm["O4"] < aqlm["O2"]
+
+    # GPTVQ's large per-block codebook set benefits from caching.
+    gptvq = rows["gptvq-2"]
+    assert gptvq["SC"] < gptvq["GC"]
+    assert gptvq["O4"] <= gptvq["SC"] * 1.05
+
+
+def test_fig14_gemv_bs1(run_once):
+    result = run_once(fig14_breakdown, "gemv", 1)
+    rows = {r["algorithm"]: r for r in result.as_dicts()}
+
+    # SC hurts AQLM GeMV: the 128 KB codebook cannot even launch.
+    aqlm = rows["aqlm-3"]
+    assert aqlm["SC"] > aqlm["GC"]
+    # The hierarchical cache recovers, and the dataflow helps more.
+    assert aqlm["O1"] < aqlm["SC"]
+    assert aqlm["O3"] < aqlm["O1"]
+
+    # GPTVQ GeMV: best level strongly beats GC.
+    gptvq = rows["gptvq-2"]
+    best = min(gptvq[lv] for lv in ("SC", "O1", "O2", "O3", "O4"))
+    assert best < 0.4 * gptvq["GC"]

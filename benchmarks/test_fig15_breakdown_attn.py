@@ -1,0 +1,29 @@
+"""Fig. 15: attention (decode) breakdown and CQ-4 vs CQ-2."""
+
+from repro.bench.experiments import fig15_attention_breakdown
+
+
+def test_fig15(run_once):
+    result = run_once(fig15_attention_breakdown)
+    rows = {(r["algorithm"], r["seq_len"], r["batch"]): r
+            for r in result.as_dicts()}
+
+    for key, row in rows.items():
+        # O3 (codebook-centric dataflow) is the decisive optimization
+        # for attention: each block loads exactly one codebook.
+        assert row["O3"] < row["O1"]
+        assert row["O3"] < row["GC"]
+        # O4 adds at most a minor change on top (paper: "minor
+        # improvement").
+        assert row["O4"] <= row["O1"]
+
+    # Improvements hold across sequence lengths and batch sizes.
+    reductions = [1 - rows[k]["O4"] / rows[k]["GC"] for k in rows]
+    assert min(reductions) > 0.5
+
+    # CQ-4 trades bandwidth for accuracy: higher latency than CQ-2 at
+    # the same optimization level (paper Fig. 15 right).
+    for seq in (1024, 4096):
+        for batch in (1, 8):
+            assert (rows[("cq-4", seq, batch)]["O4"]
+                    >= rows[("cq-2", seq, batch)]["O4"])

@@ -1,0 +1,37 @@
+"""Fig. 16: VQ-LLM vs FP16 and element-wise quantization at 4-bit."""
+
+from repro.bench.experiments import fig16_elementwise
+
+
+def test_fig16(run_once):
+    result = run_once(fig16_elementwise)
+    rows = {(r["kernel"], r["version"]): r["latency_us"]
+            for r in result.as_dicts()}
+
+    # GeMM (prefill): cutlass FP16 beats every quantized kernel —
+    # the paper's honest negative result.
+    assert (rows[("GeMM", "cutlass-FP16")]
+            < rows[("GeMM", "AWQ-4bit")])
+    assert (rows[("GeMM", "cutlass-FP16")]
+            < rows[("GeMM", "VQ-LLM quip#-4")])
+    # VQ-LLM is within ~15% of AWQ on GeMM (paper: 0.96x).
+    assert (rows[("GeMM", "VQ-LLM quip#-4")]
+            < rows[("GeMM", "AWQ-4bit")] * 1.15)
+
+    # GeMV (decode): both quantized kernels beat FP16; VQ-LLM is
+    # comparable to AWQ (paper: 0.88x).
+    assert (rows[("GeMV BS16", "VQ-LLM quip#-4")]
+            < rows[("GeMV BS16", "cutlass-FP16")])
+    assert (rows[("GeMV BS16", "VQ-LLM quip#-4")]
+            < rows[("GeMV BS16", "AWQ-4bit")] * 1.2)
+
+    # Attention: VQ-LLM is close to QoQ (paper: 1.01x) and beats FP16.
+    assert (rows[("Attention BS1 1k", "VQ-LLM cq-4")]
+            < rows[("Attention BS1 1k", "QoQ-4bit")] * 1.6)
+    assert (rows[("Attention BS1 1k", "VQ-LLM cq-4")]
+            < rows[("Attention BS1 1k", "Flash-FP16")])
+
+    # The open-source-style (GC) implementation is the slow outlier
+    # (paper: 2.83x-114x; our GC substitutes for it).
+    assert (rows[("GeMM", "open-source-style (GC) quip#-4")]
+            > rows[("GeMM", "VQ-LLM quip#-4")])

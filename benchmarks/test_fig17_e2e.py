@@ -1,0 +1,28 @@
+"""Fig. 17: end-to-end speedup and the accuracy proxy."""
+
+from repro.bench.experiments import fig17_accuracy, fig17_e2e
+
+
+def test_fig17_e2e(run_once):
+    result = run_once(fig17_e2e)
+    rows = {(r["gpu"], r["mode"]): r["speedup"] for r in result.as_dicts()}
+
+    # ~2.2x E2E speedup at equivalent 4-bit on the RTX 4090 (paper).
+    assert 1.7 < rows[("RTX 4090", "vq4")] < 3.0
+    # qServe and VQ-LLM are in the same band.
+    assert (abs(rows[("RTX 4090", "vq4")] - rows[("RTX 4090", "qserve")])
+            / rows[("RTX 4090", "qserve")] < 0.35)
+    # 2-bit compresses further and is faster still.
+    assert rows[("RTX 4090", "vq2")] > rows[("RTX 4090", "vq4")]
+    # The bandwidth-constrained A40 gains more than the 4090.
+    assert rows[("Tesla A40", "vq4")] > rows[("RTX 4090", "vq4")] * 0.98
+
+
+def test_fig17_accuracy(run_once):
+    result = run_once(fig17_accuracy)
+    rows = {r["scheme"]: r for r in result.as_dicts()}
+    # VQ tracks the FP16 model more closely than element-wise INT4 at
+    # the same equivalent width (the paper's +2.5% arc-challenge gap).
+    assert (rows["vq-llm-4bit"]["next_token_agreement"]
+            > rows["qserve-4bit"]["next_token_agreement"])
+    assert rows["fp16"]["next_token_agreement"] == 1.0

@@ -1,0 +1,29 @@
+"""Fig. 18: CQ-4 fused attention vs the FP16 attention family."""
+
+from repro.bench.experiments import fig18_attention_baselines
+
+
+def test_fig18(run_once):
+    result = run_once(fig18_attention_baselines)
+    rows = {(r["seq_len"], r["batch"]): r for r in result.as_dicts()}
+
+    baselines = ("Flash Decoding", "Paged Flash Decoding",
+                 "Flash Attention", "Paged Flash Attention")
+    # VQ-LLM beats every FP16 baseline at every point (ratios > 1).
+    for row in rows.values():
+        for name in baselines:
+            assert row[name] > 1.0
+
+    # Paper: 66.4% latency reduction vs the best FP16 baseline at
+    # BS8 / 4k tokens.
+    best_ratio = min(rows[(4096, 8)][n] for n in baselines)
+    reduction = 1 - 1 / best_ratio
+    assert 0.5 < reduction < 0.85
+
+    # Advantage scales with sequence length (paper: "scales effectively").
+    assert rows[(4096, 1)]["Flash Decoding"] \
+        > rows[(1024, 1)]["Flash Decoding"]
+
+    # FlashAttention (no token split) is the weakest baseline at BS1.
+    assert (rows[(1024, 1)]["Flash Attention"]
+            > rows[(1024, 1)]["Flash Decoding"])

@@ -1,0 +1,23 @@
+"""Tbl. II: VQ algorithm configurations."""
+
+import pytest
+
+from repro.bench.experiments import tbl02_configs
+
+
+def test_tbl02(run_once):
+    result = run_once(tbl02_configs)
+    rows = {r["algorithm"]: r for r in result.as_dicts()}
+    expected = {
+        "QuiP#-4": (0.25, 8, 65536, 2),
+        "AQLM-3": (0.1875, 8, 4096, 2),
+        "GPTVQ-2": (0.125, 4, 256, 1),
+        "CQ-4": (0.25, 2, 256, 1),
+        "CQ-2": (0.125, 4, 256, 1),
+    }
+    for name, (ratio, vector, entries, residuals) in expected.items():
+        row = rows[name]
+        assert row["compression_vs_fp16"] == pytest.approx(ratio)
+        assert row["vector_size"] == vector
+        assert row["n_entries"] == entries
+        assert row["residuals"] == residuals

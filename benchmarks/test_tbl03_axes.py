@@ -1,0 +1,19 @@
+"""Tbl. III: reduce and codebook-switch axes per computation."""
+
+from repro.bench.experiments import tbl03_axes
+
+
+def test_tbl03(run_once):
+    result = run_once(tbl03_axes)
+    rows = {(r["operation"], r["scope"]): r for r in result.as_dicts()}
+
+    assert rows[("gemm", "tensor")]["switch_axes"] == "R"
+    assert rows[("gemm", "tile")]["switch_axes"] == "MN"
+    assert rows[("attention_k", "channel_group")]["switch_axes"] == "HC"
+    assert rows[("attention_k", "channel_group")]["reduce_axes"] == "C"
+    assert rows[("attention_v", "channel_group")]["reduce_axes"] == "T"
+    # The K cache's parallelized reduction needs a global reduce; the
+    # V cache's does not (tokens stay within a block).
+    assert rows[("attention_k", "channel_group")]["needs_global_reduction"]
+    assert not rows[("attention_v",
+                     "channel_group")]["needs_global_reduction"]

@@ -1,0 +1,28 @@
+"""Tbl. V: per-configuration factors that drive each optimization."""
+
+import pytest
+
+from repro.bench.experiments import tbl05_factors
+
+
+def test_tbl05(run_once):
+    result = run_once(tbl05_factors)
+    rows = {r["algorithm"]: r for r in result.as_dicts()}
+
+    # Codebook bytes per block (paper: 2 KB / 128 KB / 32 KB / 64 KB).
+    assert rows["QuiP#-4"]["codebook_per_block_KB"] == pytest.approx(2.0)
+    assert rows["AQLM-3"]["codebook_per_block_KB"] == pytest.approx(128.0)
+    assert rows["GPTVQ-2"]["codebook_per_block_KB"] == pytest.approx(32.0)
+    assert rows["CQ-2"]["codebook_per_block_KB"] == pytest.approx(64.0)
+
+    # Hot entries above mu+3sigma (paper: 1-3 / 15-30 / <1 / <1).
+    assert rows["AQLM-3"]["hot_entries"] >= 5
+    assert rows["AQLM-3"]["hot_entries"] > rows["GPTVQ-2"]["hot_entries"]
+
+    # Shuffle counts (paper: 3/7, 3/7, 1/3, 3, 1).
+    assert rows["QuiP#-4"]["shuffles_gemm_or_attn"] == 3
+    assert rows["QuiP#-4"]["shuffles_gemv"] == 7
+    assert rows["GPTVQ-2"]["shuffles_gemm_or_attn"] == 1
+    assert rows["GPTVQ-2"]["shuffles_gemv"] == 3
+    assert rows["CQ-2"]["shuffles_gemm_or_attn"] == 3
+    assert rows["CQ-4"]["shuffles_gemm_or_attn"] == 1

@@ -1,0 +1,49 @@
+"""End-to-end serving comparison (the Fig. 17 scenario).
+
+Costs a full generation workload — Llama-7B, batch 16, 1024-token
+prompt, 256 generated tokens — under four serving modes on two GPUs,
+and prints the accuracy proxy for the quantized modes.
+
+Run with::
+
+    python examples/end_to_end_serving.py
+"""
+
+from repro.bench.accuracy import model_accuracy_proxy
+from repro.bench.e2e import MODES, E2ELedger
+from repro.gpu.spec import A40, RTX4090
+from repro.llm.config import llama_7b
+
+
+def main():
+    batch, prompt, gen_tokens = 16, 1024, 256
+    print(f"Llama-7B, batch {batch}, prompt {prompt}, "
+          f"generate {gen_tokens} tokens\n")
+
+    for spec in (RTX4090, A40):
+        ledger = E2ELedger(spec, llama_7b())
+        print(f"--- {spec.name} "
+              f"({spec.dram_bandwidth_gbps:.0f} GB/s) ---")
+        base_us = None
+        for mode in MODES:
+            total = ledger.generation_us(batch, prompt, gen_tokens, mode)
+            step = ledger.decode_step(batch, prompt, mode)
+            if base_us is None:
+                base_us = total
+            print(f"  {mode:7s}: {total / 1e6:7.2f} s total  "
+                  f"({step.total_us / 1e3:6.2f} ms/token: "
+                  f"gemv {step.gemv_us / 1e3:5.2f}, "
+                  f"attn {step.attention_us / 1e3:5.2f}, "
+                  f"other {step.elementwise_us / 1e3:4.2f})  "
+                  f"speedup {base_us / total:4.2f}x")
+        print()
+
+    print("accuracy proxy (tiny model, weights quantized per scheme):")
+    for scheme, report in model_accuracy_proxy().items():
+        print(f"  {scheme:12s}: next-token agreement "
+              f"{report.next_token_agreement:6.1%}, "
+              f"weight MSE {report.weight_mse:.2e}")
+
+
+if __name__ == "__main__":
+    main()

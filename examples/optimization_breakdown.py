@@ -1,0 +1,58 @@
+"""Reproduce the paper's optimization-breakdown study for one workload.
+
+Sweeps every Tbl. IV level (GC, SC, O1..O4) for a weight-quantized GeMV
+and prints what each level changed — placement, boundaries, dataflow,
+fusion — alongside its modelled counters, mirroring Fig. 14's analysis.
+
+Run with::
+
+    python examples/optimization_breakdown.py [algorithm]
+
+where ``algorithm`` is one of quip#-4, aqlm-3, gptvq-2 (default).
+"""
+
+import sys
+
+from repro import RTX4090, ComputeEngine
+from repro.bench.workloads import llama_gemv_shape, weight_sample
+from repro.gpu.costmodel import CostModel
+from repro.llm.config import llama_7b
+
+
+def main(algorithm: str = "gptvq-2"):
+    engine = ComputeEngine(RTX4090)
+    shape = llama_gemv_shape(llama_7b(), batch=1)
+    qt = weight_sample(algorithm)
+    cost = CostModel(RTX4090)
+
+    print(f"GeMV breakdown for {qt.config} at Llama-7B shape "
+          f"({shape.n}x{shape.k})\n")
+    header = (f"{'level':>5} {'latency_us':>10} {'occup':>6} "
+              f"{'smem_KB':>8} {'cb_dram_MB':>10} {'conflicts':>10} "
+              f"{'fusion':>9}  plan")
+    print(header)
+    for level in ("GC", "SC", "O1", "O2", "O3", "O4"):
+        kernel = engine.generator.generate_gemv(shape, qt, level=level)
+        counters = cost.resolve_occupancy(kernel.counters())
+        plan = []
+        if kernel.template.boundaries is not None:
+            b = kernel.template.boundaries
+            plan.append(f"n_reg={b.n_reg} n_shared={b.n_shared}")
+        if counters.notes.get("dataflow"):
+            plan.append(f"dataflow={counters.notes['dataflow']}")
+        print(f"{level:>5} {kernel.latency_us():>10.1f} "
+              f"{counters.occupancy:>6.2f} "
+              f"{counters.smem_per_block / 1024:>8.1f} "
+              f"{counters.codebook_dram_bytes / 1e6:>10.2f} "
+              f"{counters.bank_conflict_transactions:>10.0f} "
+              f"{counters.notes.get('fusion', '-'):>9}  "
+              + " ".join(plan))
+
+    sweep = engine.sweep(engine.generator.generate_gemv, shape, qt,
+                         name=f"gemv-{algorithm}")
+    print(f"\nbest level: {sweep.best_level} "
+          f"({sweep.reduction_vs('GC'):.0%} latency reduction vs GC)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "gptvq-2")

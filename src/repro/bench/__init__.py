@@ -1,0 +1,28 @@
+"""Experiment harness.
+
+- :mod:`repro.bench.workloads` — Llama-shaped kernel workloads and
+  cached quantized sample tensors;
+- :mod:`repro.bench.harness` — result containers and table printers;
+- :mod:`repro.bench.experiments` — one function per paper table/figure
+  (the per-experiment index lives in DESIGN.md);
+- :mod:`repro.bench.e2e` — the end-to-end latency ledger (Fig. 17).
+"""
+
+from repro.bench.harness import ExperimentResult, format_table
+from repro.bench.workloads import (
+    attention_sample,
+    llama_attention_shape,
+    llama_gemm_shape,
+    llama_gemv_shape,
+    weight_sample,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "attention_sample",
+    "format_table",
+    "llama_attention_shape",
+    "llama_gemm_shape",
+    "llama_gemv_shape",
+    "weight_sample",
+]

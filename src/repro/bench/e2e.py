@@ -1,0 +1,150 @@
+"""End-to-end decode latency ledger (Fig. 17).
+
+Sums modelled kernel latencies over every operator of a decode step
+(enumerated by :func:`repro.llm.model.decode_operator_shapes`) under
+four serving modes:
+
+- ``fp16`` — FP16 weights and KV cache;
+- ``qserve`` — AWQ-style INT4 weights + QoQ-style INT4 KV (the paper's
+  qServe baseline);
+- ``vq4`` — VQ-LLM with QuiP#-4 weights and CQ-4 KV (equivalent 4-bit);
+- ``vq2`` — VQ-LLM with GPTVQ-2 weights and CQ-2 KV (equivalent 2-bit).
+
+Generation latency integrates the decode step over the generated tokens
+(the KV cache grows as it generates); element-wise operators (RMSNorm,
+SiLU, RoPE) are costed as bandwidth-bound passes plus launch overhead,
+which lands them at the paper's ~10% (FP16) / ~20% (4-bit) share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.bench.workloads import attention_sample, weight_sample
+from repro.core.codegen import VQLLMCodeGenerator
+from repro.gpu.costmodel import LAUNCH_OVERHEAD_S
+from repro.gpu.spec import GPUSpec
+from repro.kernels.attention import AttentionShape, FlashDecodingKernel
+from repro.kernels.elementwise import (
+    ElementwiseAttentionKernel,
+    ElementwiseGemvKernel,
+)
+from repro.kernels.gemm import FP16GemvKernel, GemmShape
+from repro.llm.config import LlamaConfig
+from repro.llm.model import decode_operator_shapes
+
+#: Serving modes and the algorithms they map to.
+MODES = ("fp16", "qserve", "vq4", "vq2")
+_VQ_WEIGHT_ALGO = {"vq4": "quip#-4", "vq2": "gptvq-2"}
+_VQ_KV_ALGO = {"vq4": "cq-4", "vq2": "cq-2"}
+
+#: Kernel launches per layer of the element-wise operators (two norms,
+#: RoPE on Q and K, SiLU, gate multiply, two residual adds).
+ELEMENTWISE_LAUNCHES = 8
+
+
+@dataclass
+class DecodeStepBreakdown:
+    """Latency of one decode step, by operator class (microseconds)."""
+
+    gemv_us: float
+    attention_us: float
+    elementwise_us: float
+
+    @property
+    def total_us(self) -> float:
+        return self.gemv_us + self.attention_us + self.elementwise_us
+
+    @property
+    def elementwise_share(self) -> float:
+        return self.elementwise_us / self.total_us
+
+
+class E2ELedger:
+    """Costs decode steps for one (GPU, model) pair."""
+
+    def __init__(self, spec: GPUSpec, config: LlamaConfig):
+        self.spec = spec
+        self.config = config
+        self.generator = VQLLMCodeGenerator(spec)
+
+    def _gemv_us(self, shape: GemmShape, mode: str) -> float:
+        if mode == "fp16":
+            return FP16GemvKernel(shape).latency_us(self.spec)
+        if mode == "qserve":
+            return ElementwiseGemvKernel(shape, bits=4).latency_us(self.spec)
+        qt = weight_sample(_VQ_WEIGHT_ALGO[mode])
+        return self.generator.generate_gemv(shape, qt, level="O4").latency_us()
+
+    def _attention_us(self, shape: AttentionShape, mode: str) -> float:
+        if mode == "fp16":
+            return FlashDecodingKernel(shape).latency_us(self.spec)
+        if mode == "qserve":
+            return ElementwiseAttentionKernel(shape,
+                                              bits=4).latency_us(self.spec)
+        qt_k, qt_v = attention_sample(_VQ_KV_ALGO[mode])
+        return self.generator.generate_attention(
+            shape, qt_k, qt_v, level="O4").latency_us()
+
+    def _elementwise_us(self, elements: int, quantized: bool) -> float:
+        # Bandwidth-bound read+write pass at FP16, plus launch overheads.
+        bytes_moved = elements * 2 * 2
+        bw = self.spec.dram_bytes_per_s * 0.75
+        extra = 1.3 if quantized else 1.0  # dequant epilogues & scales
+        return (bytes_moved * extra / bw
+                + ELEMENTWISE_LAUNCHES * LAUNCH_OVERHEAD_S) * 1e6
+
+    def decode_step(self, batch: int, seq_len: int,
+                    mode: str) -> DecodeStepBreakdown:
+        """Latency breakdown of one decode step."""
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; expected {MODES}")
+        gemv_us = attn_us = ew_us = 0.0
+        for op in decode_operator_shapes(self.config, batch, seq_len):
+            if op.kind == "gemv":
+                shape = GemmShape(m=op.m, n=op.n, k=op.k)
+                # The LM head stays FP16 in every serving mode.
+                op_mode = "fp16" if op.name == "lm_head" else mode
+                gemv_us += self._gemv_us(shape, op_mode) * op.count
+            elif op.kind == "attention":
+                shape = AttentionShape(batch=op.batch, heads=op.heads,
+                                       seq_len=op.seq_len,
+                                       head_dim=op.head_dim)
+                attn_us += self._attention_us(shape, mode) * op.count
+            else:
+                ew_us += self._elementwise_us(op.elements,
+                                              mode != "fp16") * op.count
+        return DecodeStepBreakdown(gemv_us, attn_us, ew_us)
+
+    def generation_us(self, batch: int, prompt_len: int, gen_tokens: int,
+                      mode: str, samples: int = 4) -> float:
+        """Latency of generating ``gen_tokens`` after a prompt.
+
+        Integrates the decode-step cost over the growing KV cache,
+        sampling a few cache lengths and interpolating (the cost is
+        piecewise-linear in sequence length).
+        """
+        if gen_tokens <= 0:
+            return 0.0
+        points = max(2, samples)
+        total = 0.0
+        step = gen_tokens / (points - 1)
+        costs = []
+        for i in range(points):
+            seq = int(prompt_len + i * step)
+            costs.append(self.decode_step(batch, seq, mode).total_us)
+        # Trapezoidal integration over the token axis.
+        for i in range(points - 1):
+            total += (costs[i] + costs[i + 1]) / 2 * step
+        return total
+
+    def speedups(self, batch: int, prompt_len: int,
+                 gen_tokens: int) -> Dict[str, float]:
+        """E2E speedup of each mode over FP16 (Fig. 17 left)."""
+        base = self.generation_us(batch, prompt_len, gen_tokens, "fp16")
+        return {
+            mode: base / self.generation_us(batch, prompt_len, gen_tokens,
+                                            mode)
+            for mode in MODES
+        }

@@ -1,0 +1,68 @@
+"""Result containers and table formatting for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure: rows of named measurements."""
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, expected {len(self.columns)}"
+            )
+        self.rows.append(values)
+
+    def column(self, name: str) -> list:
+        """All values of one named column."""
+        idx = list(self.columns).index(name)
+        return [row[idx] for row in self.rows]
+
+    def as_dicts(self) -> list:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows, self.notes)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(title: str, columns: Sequence[str], rows: List[Sequence],
+                 notes: Sequence[str] = ()) -> str:
+    """Render an aligned ASCII table."""
+    header = [str(c) for c in columns]
+    body = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in body:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    for note in notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Kernel workloads at Llama shapes, with cached quantized samples.
+
+Kernel-level experiments use the *nominal* Llama-7B / Llama-65B shapes
+for all counter arithmetic, but train codebooks and collect index-stream
+statistics (hotness, bank conflicts) on smaller *sample* tensors — those
+statistics are intensive quantities, independent of tensor size, while
+quantizing a full 4096x11008 weight with 4096-entry codebooks in numpy
+would dominate benchmark runtime for no accuracy gain.
+
+Samples are cached per (algorithm, kind, seed) so a benchmark session
+quantizes each configuration once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.kernels.attention import AttentionShape
+from repro.kernels.gemm import GemmShape
+from repro.llm.config import LlamaConfig
+from repro.llm.model import structured_matrix
+from repro.vq.algorithms import canonical_name, make_quantizer
+from repro.vq.quantizer import QuantizedTensor
+
+#: Sample tensor shapes: (rows, cols).  Weight samples mimic a weight
+#: slice quantized along the reduction axis; attention samples mimic a
+#: (tokens, heads*head_dim) KV slice with 4 heads.  The KV sample must
+#: hold several times more tokens than codebook entries (256) or the
+#: per-channel-group k-means degenerates to one entry per token.
+WEIGHT_SAMPLE_SHAPE = (512, 1024)
+KV_SAMPLE_SHAPE = (1024, 512)
+
+_CACHE: Dict[Tuple, QuantizedTensor] = {}
+
+
+def llama_gemm_shape(config: LlamaConfig, seq_len: int = 1024) -> GemmShape:
+    """Prefill projection GEMM: (seq, hidden) x (hidden, hidden)."""
+    return GemmShape(m=seq_len, n=config.hidden, k=config.hidden)
+
+
+def llama_gemv_shape(config: LlamaConfig, batch: int = 1) -> GemmShape:
+    """Decode projection GEMV: (batch, hidden) x (hidden, hidden)."""
+    return GemmShape(m=batch, n=config.hidden, k=config.hidden)
+
+
+def llama_attention_shape(config: LlamaConfig, batch: int = 1,
+                          seq_len: int = 1024) -> AttentionShape:
+    """Decode attention over the KV cache."""
+    return AttentionShape(batch=batch, heads=config.n_heads,
+                          seq_len=seq_len, head_dim=config.head_dim)
+
+
+def weight_sample(algo: str, seed: int = 0,
+                  kmeans_iters: int = 6) -> QuantizedTensor:
+    """Quantized sample weight for a named algorithm (cached)."""
+    key = ("weight", canonical_name(algo), seed)
+    if key not in _CACHE:
+        rng = np.random.default_rng(seed)
+        w = structured_matrix(rng, *WEIGHT_SAMPLE_SHAPE)
+        q = make_quantizer(algo, seed=seed, kmeans_iters=kmeans_iters,
+                           train_sample=8192)
+        _CACHE[key] = q.quantize(w)
+    return _CACHE[key]
+
+
+def attention_sample(algo: str, seed: int = 0,
+                     kmeans_iters: int = 6) -> Tuple[QuantizedTensor,
+                                                     QuantizedTensor]:
+    """Quantized (K, V) sample caches for a CQ algorithm (cached)."""
+    key = ("kv", canonical_name(algo), seed)
+    if key not in _CACHE:
+        rng = np.random.default_rng(seed + 7)
+        base = structured_matrix(rng, *KV_SAMPLE_SHAPE)
+        k_data = base
+        v_data = 0.7 * base + 0.3 * structured_matrix(rng, *KV_SAMPLE_SHAPE)
+        q = make_quantizer(algo, seed=seed, kmeans_iters=kmeans_iters,
+                           train_sample=8192)
+        _CACHE[key] = (q.quantize(k_data), q.quantize(v_data))
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    """Drop all cached quantized samples (tests use this for isolation)."""
+    _CACHE.clear()

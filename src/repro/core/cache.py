@@ -1,0 +1,192 @@
+"""The codebook cache (Sec. V).
+
+A software-managed cache that places codebook entries across the GPU
+memory hierarchy by access frequency, with a *reorder-based static
+mapping* instead of tags: entries are sorted hottest-first offline and
+the quantized data is rewritten to the new indices, so locating an entry
+at runtime is two integer comparisons —
+
+- ``index < n_reg``                    -> thread-local registers,
+- ``n_reg <= index < n_shared``        -> shared memory,
+- ``index >= n_shared``                -> global memory.
+
+``n_reg``/``n_shared`` default to the resource-slack heuristic but can be
+overridden by the user, matching the paper's Load / Access / Switch API
+(Sec. V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hotness import HotnessProfile, profile_hotness
+from repro.core.slack import ResourceSlack
+from repro.vq.quantizer import QuantizedTensor
+
+
+@dataclass(frozen=True)
+class CacheBoundaries:
+    """The two placement boundaries of the codebook cache."""
+
+    n_reg: int
+    n_shared: int
+
+    def __post_init__(self):
+        if self.n_reg < 0 or self.n_shared < self.n_reg:
+            raise ValueError(
+                "boundaries must satisfy 0 <= n_reg <= n_shared "
+                f"(got n_reg={self.n_reg}, n_shared={self.n_shared})"
+            )
+
+    def level_of(self, index: int) -> str:
+        """Placement of a (frequency-reordered) entry index."""
+        if index < self.n_reg:
+            return "register"
+        if index < self.n_shared:
+            return "shared"
+        return "global"
+
+
+def plan_boundaries(
+    slack: ResourceSlack,
+    entry_bytes: int,
+    n_entries: int,
+    resident_books: int = 1,
+    hot_entries: int = None,
+    warp_size: int = 32,
+) -> CacheBoundaries:
+    """Size the cache from resource slack (Sec. V-B "Adaptivity").
+
+    Register-resident entries are *warp-distributed*: the warp's 32
+    threads each hold a slice of the hot-entry table and serve lookups
+    with intra-warp shuffles, so one entry costs ``entry_bytes / 32``
+    registers per thread.  (A per-thread copy of the 15-30 hot entries
+    the paper reports for AQLM — 16 bytes each — would not fit a
+    register file.)
+
+    Shared-resident entries cost ``entry_bytes`` per block *per resident
+    codebook*: a block that switches between ``resident_books`` books
+    (CQ keeps one per channel group) caches the top entries of each.
+
+    ``hot_entries`` (the mu+3sigma count from the hotness profile) caps
+    the register level: entries beyond the extremely-hot set gain
+    nothing from register residency but still pay shuffles.
+    """
+    if entry_bytes <= 0:
+        raise ValueError("entry_bytes must be positive")
+    if resident_books <= 0:
+        raise ValueError("resident_books must be positive")
+    reg_budget_bytes = slack.regs_per_thread * 4 * warp_size
+    n_reg = min(n_entries, reg_budget_bytes // entry_bytes)
+    if hot_entries is not None:
+        n_reg = min(n_reg, max(0, hot_entries))
+    per_book_smem = slack.smem_bytes // resident_books
+    n_shared_extra = per_book_smem // entry_bytes
+    n_shared = min(n_entries, n_reg + n_shared_extra)
+    return CacheBoundaries(n_reg=int(n_reg), n_shared=int(n_shared))
+
+
+class CodebookCache:
+    """Frequency-reordered codebook cache over one quantized tensor.
+
+    Implements the three-call user interface of Sec. V-C:
+
+    - :meth:`load` — stage codebooks into the hierarchy, returning the
+      boundaries (``CB_cached, n_reg,shared <- Load(CB, Slack)``);
+    - :meth:`access` — fetch one entry during dequantization, recording
+      which level served it;
+    - :meth:`switch` — move to another scope group's codebook (GPTVQ
+      trains per-tile codebooks; CQ per-channel-group).
+    """
+
+    def __init__(self, qt: QuantizedTensor,
+                 profile: HotnessProfile = None):
+        if profile is None:
+            profile = profile_hotness(qt)
+        self.profile = profile
+        #: The tensor rewritten to hotness-descending entry numbering.
+        self.tensor = qt.remap(profile.order)
+        self.boundaries: CacheBoundaries = None
+        self._group = 0
+        self._residual = 0
+        #: Access counts per level, for traffic verification in tests.
+        self.level_hits = {"register": 0, "shared": 0, "global": 0}
+
+    @property
+    def n_entries(self) -> int:
+        return self.tensor.config.lookup_entries
+
+    @property
+    def entry_bytes(self) -> int:
+        return self.tensor.config.entry_bytes
+
+    def load(self, slack: ResourceSlack,
+             boundaries: CacheBoundaries = None) -> CacheBoundaries:
+        """Stage the codebooks; returns (and stores) the boundaries.
+
+        With no explicit ``boundaries`` the slack heuristic is applied —
+        the paper's default — but callers may overwrite them.
+        """
+        if boundaries is None:
+            boundaries = plan_boundaries(slack, self.entry_bytes,
+                                         self.n_entries)
+        self.boundaries = boundaries
+        return boundaries
+
+    def switch(self, group: int, residual: int = 0) -> None:
+        """Point the cache at another codebook (Sec. V-C's Switch API)."""
+        if not 0 <= group < self.tensor.codebooks.n_groups:
+            raise IndexError(f"group {group} out of range")
+        if not 0 <= residual < self.tensor.codebooks.residuals:
+            raise IndexError(f"residual {residual} out of range")
+        self._group = group
+        self._residual = residual
+
+    def access(self, index: int) -> np.ndarray:
+        """Fetch one entry of the current codebook by reordered index.
+
+        Returns the entry vector and records the serving level; raises
+        if :meth:`load` has not been called (mirroring the real API's
+        requirement that the cache be initialised first).
+        """
+        if self.boundaries is None:
+            raise RuntimeError("call load() before access()")
+        level = self.boundaries.level_of(index)
+        self.level_hits[level] += 1
+        book = self.tensor.codebooks.get(self._group, self._residual)
+        return book.entries[index]
+
+    # ------------------------------------------------------------------
+    # Traffic/coverage summaries used by the kernel models
+    # ------------------------------------------------------------------
+    def coverage(self) -> dict:
+        """Fraction of accesses served per level under the boundaries."""
+        if self.boundaries is None:
+            raise RuntimeError("call load() before coverage()")
+        reg = self.profile.coverage(self.boundaries.n_reg)
+        shared_total = self.profile.coverage(self.boundaries.n_shared)
+        return {
+            "register": reg,
+            "shared": shared_total - reg,
+            "global": 1.0 - shared_total,
+        }
+
+    def staged_bytes(self) -> dict:
+        """Bytes staged per level when the cache is loaded.
+
+        Register bytes are *per thread*; shared bytes are per block per
+        codebook group that the block touches.
+        """
+        if self.boundaries is None:
+            raise RuntimeError("call load() before staged_bytes()")
+        b = self.boundaries
+        return {
+            "register_per_thread": b.n_reg * self.entry_bytes,
+            "shared_per_book": (b.n_shared - b.n_reg) * self.entry_bytes,
+        }
+
+    def dequantize(self) -> np.ndarray:
+        """Dequantize through the cache (numerically checks the reorder)."""
+        return self.tensor.dequantize()

@@ -1,0 +1,177 @@
+"""Codebook-centric dataflow (Sec. VI-A).
+
+The naive integration of VQ into a tiled kernel parallelizes along the
+computation's natural axes, which makes many thread blocks load the same
+codebooks (Fig. 5).  The codebook-centric dataflow re-partitions the task
+along the *codebook switch axes* (Tbl. III) so each block loads each
+codebook at most once (Fig. 11); axes that were reduction axes and are
+now parallelized require an explicit global reduction.
+
+The *split factor* controls how far the switch axes are parallelized:
+
+    Traffic_reduce   = split_factor * output_size
+    Traffic_codebook = original_codebook_traffic / split_factor
+
+Both are monotone in the split factor with opposite signs, so the
+modelled optimum equates them (the paper invokes the mean value theorem);
+we take the real-valued balance point and clamp to the feasible integer
+range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.vq.config import VQConfig
+
+#: Tbl. III — axes of each computation, per VQ algorithm family.
+#: Keys are (operation, scope); values are (all, reduce, switch) axis sets.
+_AXES = {
+    # Weight GeMM/GeMV: M rows, N columns, R residual.
+    ("gemm", "tensor"): ("MNR", "MR", "R"),
+    ("gemm", "tile"): ("MNR", "MR", "MN"),
+    ("gemv", "tensor"): ("MNR", "MR", "R"),
+    ("gemv", "tile"): ("MNR", "MR", "MN"),
+    # Attention over the KV cache: B batch, H head, T token, C channel.
+    # CQ switches codebooks along heads and channel groups; K-cache
+    # reduction is along channels, V-cache reduction along tokens.
+    ("attention_k", "channel_group"): ("BHTC", "C", "HC"),
+    ("attention_v", "channel_group"): ("BHTC", "T", "HC"),
+}
+
+
+@dataclass(frozen=True)
+class AxisSpec:
+    """Reduce and codebook-switch axes of one computation (Tbl. III)."""
+
+    operation: str
+    all_axes: str
+    reduce_axes: str
+    switch_axes: str
+
+    @property
+    def conflict_axes(self) -> str:
+        """Axes that are both reduced and codebook-switching.
+
+        Parallelizing these (which the codebook-centric dataflow does)
+        is what forces the explicit global reduction.
+        """
+        return "".join(a for a in self.reduce_axes if a in self.switch_axes)
+
+    @property
+    def needs_global_reduction(self) -> bool:
+        return bool(self.conflict_axes)
+
+
+def axes_for(operation: str, config: VQConfig) -> AxisSpec:
+    """Look up Tbl. III for an operation under a VQ config's scope.
+
+    ``operation`` is one of ``gemm``, ``gemv``, ``attention_k``,
+    ``attention_v`` (attention kernels consult both K and V specs).
+    """
+    key = (operation, config.scope)
+    if key not in _AXES:
+        raise KeyError(
+            f"no axis specification for operation={operation!r} with "
+            f"scope={config.scope!r} (Tbl. III does not pair them)"
+        )
+    all_axes, reduce_axes, switch_axes = _AXES[key]
+    return AxisSpec(operation, all_axes, reduce_axes, switch_axes)
+
+
+def optimal_split_factor(
+    codebook_traffic_bytes: float,
+    output_bytes: float,
+    max_split: int,
+) -> int:
+    """Balance duplicated-codebook traffic against reduction traffic.
+
+    Solves ``codebook_traffic / s == s * output_bytes`` for ``s`` and
+    clamps to ``[1, max_split]``.  Degenerate inputs (zero output or
+    zero codebook traffic) resolve to the corresponding extreme.
+    """
+    if max_split < 1:
+        raise ValueError("max_split must be >= 1")
+    if codebook_traffic_bytes <= 0:
+        return 1
+    if output_bytes <= 0:
+        return max_split
+    balance = math.sqrt(codebook_traffic_bytes / output_bytes)
+    return max(1, min(max_split, int(round(balance))))
+
+
+@dataclass(frozen=True)
+class DataflowPlan:
+    """Chosen dataflow for one fused kernel."""
+
+    #: ``naive`` (parallelize computation axes) or ``codebook_centric``.
+    kind: str
+    axis_spec: AxisSpec
+    split_factor: int
+    #: Modelled codebook global traffic under this plan, bytes.
+    codebook_traffic_bytes: float
+    #: Modelled global-reduction traffic under this plan, bytes.
+    reduction_traffic_bytes: float
+
+    @property
+    def extra_kernel_launches(self) -> int:
+        """A split reduction needs one extra (reduce) kernel launch."""
+        return 1 if (self.kind == "codebook_centric"
+                     and self.split_factor >= 1
+                     and self.reduction_traffic_bytes > 0) else 0
+
+
+def plan_dataflow(
+    operation: str,
+    config: VQConfig,
+    naive_codebook_traffic: float,
+    distinct_codebook_bytes: float,
+    output_bytes: float,
+    max_split: int,
+    enable: bool = True,
+) -> DataflowPlan:
+    """Build the dataflow plan for a fused kernel.
+
+    Parameters
+    ----------
+    operation:
+        ``gemm`` / ``gemv`` / ``attention_k`` / ``attention_v``.
+    naive_codebook_traffic:
+        Global bytes the naive dataflow spends loading codebooks
+        (duplicates included).
+    distinct_codebook_bytes:
+        Bytes of all distinct codebooks (the floor no dataflow can beat).
+    output_bytes:
+        Size of the kernel's output tensor, bytes — the unit of
+        reduction traffic.
+    max_split:
+        Cap on the split factor (number of reduce-axis chunks that can
+        be formed).
+    enable:
+        ``False`` produces the naive plan (used by the GC/SC/O1/O2
+        ablation levels).
+    """
+    spec = axes_for(operation, config)
+    if not enable:
+        return DataflowPlan(
+            kind="naive",
+            axis_spec=spec,
+            split_factor=1,
+            codebook_traffic_bytes=naive_codebook_traffic,
+            reduction_traffic_bytes=0.0,
+        )
+    split = optimal_split_factor(naive_codebook_traffic, output_bytes,
+                                 max_split)
+    codebook_traffic = max(
+        distinct_codebook_bytes, naive_codebook_traffic / split)
+    reduction = (split * output_bytes * 2.0
+                 if spec.needs_global_reduction and split > 1 else 0.0)
+    return DataflowPlan(
+        kind="codebook_centric",
+        axis_spec=spec,
+        split_factor=split,
+        codebook_traffic_bytes=codebook_traffic,
+        reduction_traffic_bytes=reduction,
+    )

@@ -1,0 +1,69 @@
+"""Compute engine: runs generated kernels and aggregates comparisons.
+
+The engine is a convenience layer over the generator for the evaluation
+harness: it sweeps optimization levels, compares against FP16 and
+element-wise baselines, and computes the latency-reduction metrics the
+paper reports (reduction vs GC, speedup vs FP16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.codegen import GeneratedKernel, VQLLMCodeGenerator
+from repro.gpu.costmodel import CostModel
+from repro.gpu.spec import GPUSpec
+from repro.kernels.base import KernelBase
+
+
+@dataclass
+class LevelSweep:
+    """Latency of every optimization level for one kernel workload."""
+
+    name: str
+    latencies_us: Dict[str, float]
+
+    @property
+    def best_level(self) -> str:
+        return min(self.latencies_us, key=self.latencies_us.get)
+
+    @property
+    def best_us(self) -> float:
+        return self.latencies_us[self.best_level]
+
+    def reduction_vs(self, baseline: str = "GC") -> float:
+        """Latency reduction of the best level vs a baseline level."""
+        base = self.latencies_us[baseline]
+        return 1.0 - self.best_us / base
+
+    def reduction_of(self, level: str, baseline: str = "GC") -> float:
+        """Latency reduction of one level vs a baseline level."""
+        return 1.0 - self.latencies_us[level] / self.latencies_us[baseline]
+
+
+class ComputeEngine:
+    """Runs generated kernels and baselines on one GPU spec."""
+
+    def __init__(self, spec: GPUSpec):
+        self.spec = spec
+        self.generator = VQLLMCodeGenerator(spec)
+        self.cost_model = CostModel(spec)
+
+    def latency_us(self, kernel) -> float:
+        """Modelled latency of a kernel or generated kernel."""
+        if isinstance(kernel, GeneratedKernel):
+            return kernel.latency_us()
+        if isinstance(kernel, KernelBase):
+            return kernel.latency_us(self.spec)
+        raise TypeError(f"cannot time object of type {type(kernel)!r}")
+
+    def sweep(self, generate_fn, *args, name: str = "", **kwargs) -> LevelSweep:
+        """Latency for every Tbl. IV level of one workload."""
+        kernels = self.generator.sweep_levels(generate_fn, *args, **kwargs)
+        latencies = {level: k.latency_us() for level, k in kernels.items()}
+        return LevelSweep(name=name or "sweep", latencies_us=latencies)
+
+    def compare(self, kernels: dict) -> dict:
+        """Latency (us) for a dict of named kernels."""
+        return {name: self.latency_us(k) for name, k in kernels.items()}

@@ -1,0 +1,104 @@
+"""Kernel templates (Alg. 2's offline phase).
+
+A :class:`KernelTemplate` packages what Alg. 2 derives before launch for
+one (computation, VQ configuration) pair: the computation's axes, tile
+and base resource shape, the fusion decision with its thread mapping,
+the dataflow plan, and the cache boundaries.  The code generator
+instantiates a template into a runnable kernel plus emitted source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.cache import CacheBoundaries
+from repro.core.dataflow import AxisSpec, axes_for
+from repro.core.fusion import (
+    REQUIRED_LAYOUT,
+    FusionDecision,
+    ThreadMapping,
+    decide_fusion,
+    thread_mapping,
+)
+from repro.core.heuristics import PlanKnobs
+from repro.core.slack import ResourceSlack
+from repro.vq.config import VQConfig
+
+#: Base (codebook-free) resource shapes per computation kind, as the
+#: compiler would report them for the fused kernels before the codebook
+#: cache claims anything.  The GEMM shape is shared-memory-bound (like
+#: double-buffered tiled GEMM), which is why O4's release of the
+#: dequantization staging buffer buys occupancy.
+BASE_RESOURCES = {
+    "gemm": {"threads": 256, "regs": 64, "smem": 49152},
+    "gemv": {"threads": 256, "regs": 52, "smem": 8192},
+    "attention": {"threads": 256, "regs": 56, "smem": 32768},
+}
+
+
+@dataclass
+class KernelTemplate:
+    """Offline-derived parameters of one fused kernel (Alg. 2 lines 1-8)."""
+
+    operation: str
+    config: VQConfig
+    knobs: PlanKnobs
+    fusion: FusionDecision
+    mapping: Optional[ThreadMapping]
+    axis_spec: AxisSpec
+    slack: Optional[ResourceSlack] = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def boundaries(self) -> Optional[CacheBoundaries]:
+        return self.knobs.boundaries
+
+    def describe(self) -> dict:
+        """Human-readable summary of every chosen parameter."""
+        out = {
+            "operation": self.operation,
+            "algorithm": self.config.name,
+            "vq": self.config.spec_string(),
+            "level": self.knobs.label,
+            "placement": self.knobs.placement,
+            "dataflow": ("codebook_centric" if self.knobs.dataflow
+                         else "naive"),
+            "fusion": self.fusion.level,
+            "n_shuffles": self.fusion.n_shuffles,
+            "switch_axes": self.axis_spec.switch_axes,
+            "reduce_axes": self.axis_spec.reduce_axes,
+        }
+        if self.knobs.boundaries is not None:
+            out["n_reg"] = self.knobs.boundaries.n_reg
+            out["n_shared"] = self.knobs.boundaries.n_shared
+        out.update(self.extras)
+        return out
+
+
+def build_template(operation: str, config: VQConfig,
+                   knobs: PlanKnobs) -> KernelTemplate:
+    """Assemble the offline template for an operation + config + knobs."""
+    if operation not in BASE_RESOURCES:
+        raise ValueError(f"unknown operation {operation!r}")
+    fusion_op = "attention_v" if operation == "attention" else operation
+    fusion = decide_fusion(
+        config.vector_size, fusion_op,
+        mismatch_fraction=1.0,
+        threshold=knobs.shuffle_threshold,
+        enable_register=knobs.register_fusion,
+    )
+    mapping = None
+    if fusion.uses_register_fusion and fusion.n_shuffles > 0:
+        mapping = thread_mapping(config.vector_size,
+                                 REQUIRED_LAYOUT[fusion_op])
+    axis_op = "attention_k" if operation == "attention" else operation
+    axis_spec = axes_for(axis_op, config)
+    return KernelTemplate(
+        operation=operation,
+        config=config,
+        knobs=knobs,
+        fusion=fusion,
+        mapping=mapping,
+        axis_spec=axis_spec,
+    )

@@ -1,0 +1,49 @@
+"""GPU hardware-model substrate.
+
+The paper evaluates CUDA kernels on an NVIDIA RTX 4090 and a Tesla A40.
+This environment has no GPU, so this package provides an analytic model of
+the pieces of the GPU that the paper's analysis actually rests on:
+
+- :mod:`repro.gpu.spec` — chip parameters (SM count, shared memory size,
+  bank count, bandwidths, peak throughput) for the GPUs the paper uses.
+- :mod:`repro.gpu.occupancy` — the CUDA occupancy calculation that the
+  paper's "resource slack" heuristic (Fig. 10) is built on.
+- :mod:`repro.gpu.banks` — a shared-memory bank-conflict model driven by
+  real quantized-index streams.
+- :mod:`repro.gpu.counters` — the performance counters the paper profiles
+  in Fig. 4 (traffic per hierarchy level, conflicts, utilization).
+- :mod:`repro.gpu.costmodel` — a roofline-style latency model over those
+  counters.
+- :mod:`repro.gpu.shuffle` — a functional model of intra-warp ``shfl.xor``
+  data exchange used by register-level fusion.
+
+Every kernel in :mod:`repro.kernels` and every generated kernel in
+:mod:`repro.core` produces a :class:`~repro.gpu.counters.PerfCounters`
+record; latency claims are derived from those counters, never invented.
+"""
+
+from repro.gpu.banks import BankConflictModel, warp_conflict_degree
+from repro.gpu.costmodel import CostModel, LatencyBreakdown
+from repro.gpu.counters import PerfCounters
+from repro.gpu.memory import l1_hit_rate, line_transactions
+from repro.gpu.occupancy import Occupancy, occupancy
+from repro.gpu.shuffle import shfl_xor, shuffle_exchange
+from repro.gpu.spec import GPUSpec, A40, A100, RTX4090
+
+__all__ = [
+    "A40",
+    "A100",
+    "BankConflictModel",
+    "CostModel",
+    "GPUSpec",
+    "LatencyBreakdown",
+    "Occupancy",
+    "PerfCounters",
+    "RTX4090",
+    "l1_hit_rate",
+    "line_transactions",
+    "occupancy",
+    "shfl_xor",
+    "shuffle_exchange",
+    "warp_conflict_degree",
+]

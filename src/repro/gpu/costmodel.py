@@ -1,0 +1,183 @@
+"""Roofline-style latency model over :class:`~repro.gpu.counters.PerfCounters`.
+
+The model converts a kernel's counter record into a latency estimate by
+timing each hardware resource independently and taking the slowest
+(hiding the others behind it), which is how memory-bound LLM inference
+kernels behave:
+
+- DRAM time: bytes / (peak bandwidth x a bandwidth-efficiency curve that
+  degrades at low occupancy — a latency-bound kernel cannot keep enough
+  loads in flight to saturate DRAM);
+- shared-memory time: transactions (including bank-conflict replays)
+  through the per-SM 128 B/cycle port;
+- compute time: FLOPs at tensor-core rate plus scalar dequantization,
+  unpack and shuffle instructions at CUDA-core rate, degraded at low
+  occupancy;
+- fixed per-launch overhead, multiplied for split-reduction plans.
+
+Absolute microseconds are calibrated (this is a model, not silicon); all
+paper comparisons are relative, and relative ordering is determined by
+the counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.counters import PerfCounters
+from repro.gpu.occupancy import occupancy as occupancy_of
+from repro.gpu.spec import GPUSpec
+
+#: Fixed cost of one kernel launch, seconds (driver + dispatch).
+LAUNCH_OVERHEAD_S = 3.0e-6
+
+#: Scalar (CUDA-core) operation throughput relative to one FP32 FLOP.
+#: Dequant lookups and bit-unpacking are integer/ld-st sequences costing
+#: several simple instructions each.
+DEQUANT_OP_COST = 4.0
+UNPACK_OP_COST = 6.0
+SHUFFLE_OP_COST = 2.0
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Component times (seconds) of one modelled kernel execution."""
+
+    dram_s: float
+    shared_s: float
+    compute_s: float
+    overhead_s: float
+    occupancy: float
+    sm_utilization: float
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end latency: slowest pipe plus fixed overheads."""
+        return max(self.dram_s, self.shared_s, self.compute_s) + self.overhead_s
+
+    @property
+    def total_us(self) -> float:
+        """Total latency in microseconds."""
+        return self.total_s * 1e6
+
+    @property
+    def bound(self) -> str:
+        """Which resource dominates: ``dram``, ``shared`` or ``compute``."""
+        parts = {
+            "dram": self.dram_s,
+            "shared": self.shared_s,
+            "compute": self.compute_s,
+        }
+        return max(parts, key=parts.get)
+
+
+class CostModel:
+    """Latency model for one GPU."""
+
+    def __init__(self, spec: GPUSpec):
+        self.spec = spec
+
+    def bandwidth_efficiency(self, occ: float, sm_util: float) -> float:
+        """Fraction of peak DRAM bandwidth achievable.
+
+        A saturating curve in achieved occupancy: even moderate occupancy
+        (>= ~25%) keeps DRAM busy for streaming kernels, but a kernel
+        throttled to one small block per SM (the SC-with-huge-codebook
+        case) cannot cover DRAM latency.  Idle SMs (low wave utilization)
+        cut the achievable bandwidth proportionally.
+        """
+        occ = max(0.0, min(1.0, occ))
+        sm_util = max(0.0, min(1.0, sm_util)) or 1.0
+        curve = occ / (occ + 0.08) if occ > 0 else 0.0
+        return max(1e-3, curve * sm_util)
+
+    def pipeline_efficiency(self, occ: float, sm_util: float) -> float:
+        """Fraction of peak compute throughput achievable."""
+        occ = max(0.0, min(1.0, occ))
+        sm_util = max(0.0, min(1.0, sm_util)) or 1.0
+        curve = occ / (occ + 0.12) if occ > 0 else 0.0
+        return max(1e-3, curve * sm_util)
+
+    def resolve_occupancy(self, counters: PerfCounters) -> PerfCounters:
+        """Fill in occupancy and SM utilization from launch geometry.
+
+        Mutates and returns ``counters``.  Kernels may pre-set occupancy
+        (e.g. aggregated multi-launch records); those values are kept.
+        """
+        if counters.occupancy <= 0 and counters.threads_per_block > 0:
+            occ = occupancy_of(
+                self.spec,
+                counters.threads_per_block,
+                max(counters.regs_per_thread, 1),
+                counters.smem_per_block,
+            )
+            counters.occupancy = occ.occupancy
+            blocks_resident = max(1, occ.blocks_per_sm) * self.spec.sm_count
+            if counters.grid_blocks > 0:
+                counters.sm_utilization = min(
+                    1.0, counters.grid_blocks / min(
+                        blocks_resident, self.spec.sm_count))
+            else:
+                counters.sm_utilization = 1.0
+            if occ.blocks_per_sm == 0:
+                # The block cannot be scheduled at all; model as minimum
+                # progress (one block serialized per SM via spill).
+                counters.occupancy = 1.0 / self.spec.max_warps_per_sm
+        if counters.sm_utilization <= 0:
+            counters.sm_utilization = 1.0
+        return counters
+
+    def latency(self, counters: PerfCounters) -> LatencyBreakdown:
+        """Convert a counter record into a latency breakdown."""
+        c = self.resolve_occupancy(counters)
+        spec = self.spec
+
+        bw_eff = self.bandwidth_efficiency(c.occupancy, c.sm_utilization)
+        dram_bytes = c.dram_bytes + c.reduction_bytes
+        dram_s = dram_bytes / (spec.dram_bytes_per_s * bw_eff)
+
+        # Shared-memory port time: every transaction moves up to 128 B
+        # per SM per cycle; conflict replays are extra transactions.
+        transactions = c.shared_transactions + c.bank_conflict_transactions
+        if transactions > 0:
+            tx_bytes = transactions * spec.smem_banks * spec.smem_bank_bytes
+        else:
+            tx_bytes = c.shared_traffic_bytes
+        shared_s = tx_bytes / (spec.smem_bytes_per_s
+                               * max(c.sm_utilization, 1e-3))
+
+        pipe_eff = self.pipeline_efficiency(c.occupancy, c.sm_utilization)
+        tensor_s = c.flops / (spec.peak_flops * pipe_eff)
+        scalar_ops = (c.dequant_ops * DEQUANT_OP_COST
+                      + c.unpack_ops * UNPACK_OP_COST
+                      + c.shuffle_ops * SHUFFLE_OP_COST)
+        # CUDA-core scalar throughput: warp_size lanes * 2 pipes per SM.
+        scalar_rate = (spec.sm_count * spec.warp_size * 4
+                       * spec.clock_ghz * 1e9 * pipe_eff)
+        # Dependent-load and replay stalls: serial cycles per warp chain,
+        # hidden by however many other warps are resident.
+        stall_cycles = (c.stall_cycles
+                        + c.bank_conflict_transactions
+                        * spec.smem_latency_cycles)
+        hiding = max(16.0, c.occupancy * spec.max_warps_per_sm)
+        stall_s = stall_cycles / (spec.sm_count * spec.clock_ghz * 1e9
+                                  * hiding)
+        # Scalar work issues on the CUDA cores and overlaps with
+        # tensor-core math (the slower pipe dominates), but dependent
+        # load stalls block the issuing warps themselves and therefore
+        # add on top.
+        compute_s = max(tensor_s, scalar_ops / scalar_rate) + stall_s
+
+        overhead_s = LAUNCH_OVERHEAD_S * max(1, c.kernel_launches)
+        return LatencyBreakdown(
+            dram_s=dram_s,
+            shared_s=shared_s,
+            compute_s=compute_s,
+            overhead_s=overhead_s,
+            occupancy=c.occupancy,
+            sm_utilization=c.sm_utilization,
+        )
+
+    def latency_us(self, counters: PerfCounters) -> float:
+        """Convenience: total modelled latency in microseconds."""
+        return self.latency(counters).total_us

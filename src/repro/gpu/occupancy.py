@@ -1,0 +1,155 @@
+"""CUDA occupancy calculation.
+
+The paper's codebook-cache heuristic sizes ``n_reg``/``n_shared`` from the
+"resource slack" of a kernel (Fig. 10): how many extra registers and bytes
+of shared memory a block can consume before the number of concurrently
+resident blocks per SM drops.  That requires a faithful occupancy
+calculator, which this module provides, following the rules of the CUDA
+occupancy calculator (warp limit, register limit with per-warp allocation
+granularity, shared-memory limit with allocation granularity, block limit).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpu.spec import GPUSpec
+
+
+def _ceil_to(value: int, unit: int) -> int:
+    """Round ``value`` up to a multiple of ``unit``."""
+    if unit <= 0:
+        raise ValueError(f"granularity must be positive, got {unit}")
+    return ((value + unit - 1) // unit) * unit
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of an occupancy calculation for one kernel launch shape."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    #: Fraction of the SM's maximum resident warps that are occupied.
+    occupancy: float
+    #: Which resource capped ``blocks_per_sm``:
+    #: ``"warps" | "registers" | "shared" | "blocks" | "none"``.
+    limiter: str
+
+    @property
+    def active(self) -> bool:
+        """Whether at least one block fits on an SM."""
+        return self.blocks_per_sm > 0
+
+
+def occupancy(
+    spec: GPUSpec,
+    threads_per_block: int,
+    regs_per_thread: int,
+    smem_per_block: int,
+) -> Occupancy:
+    """Compute resident blocks/warps per SM for a kernel configuration.
+
+    Parameters
+    ----------
+    spec:
+        Target GPU.
+    threads_per_block:
+        Threads launched per block; must be a positive multiple of 1
+        (warps are derived by rounding up to the warp size).
+    regs_per_thread:
+        Registers used by each thread (as the compiler would report).
+    smem_per_block:
+        Static + dynamic shared memory requested per block, bytes.
+
+    Returns
+    -------
+    Occupancy
+        Blocks and warps resident per SM, the occupancy fraction, and the
+        limiting resource.
+    """
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+    if regs_per_thread < 0 or smem_per_block < 0:
+        raise ValueError("resource demands must be non-negative")
+    if regs_per_thread > spec.max_regs_per_thread:
+        raise ValueError(
+            f"regs_per_thread={regs_per_thread} exceeds the architectural "
+            f"limit of {spec.max_regs_per_thread}"
+        )
+
+    warps_per_block = math.ceil(threads_per_block / spec.warp_size)
+
+    limits = {"blocks": spec.max_blocks_per_sm}
+    limits["warps"] = spec.max_warps_per_sm // warps_per_block
+
+    if regs_per_thread > 0:
+        regs_per_warp = _ceil_to(
+            regs_per_thread * spec.warp_size, spec.reg_alloc_unit
+        )
+        warp_limit_by_regs = spec.regs_per_sm // regs_per_warp
+        limits["registers"] = warp_limit_by_regs // warps_per_block
+    else:
+        limits["registers"] = spec.max_blocks_per_sm
+
+    if smem_per_block > 0:
+        if smem_per_block > spec.smem_per_block_max:
+            limits["shared"] = 0
+        else:
+            smem_alloc = _ceil_to(smem_per_block, spec.smem_alloc_unit)
+            limits["shared"] = spec.smem_per_sm // smem_alloc
+    else:
+        limits["shared"] = spec.max_blocks_per_sm
+
+    blocks = min(limits.values())
+    # Report the tightest constraint; ties go to the conventional
+    # reporting order of the CUDA occupancy calculator.  Resources the
+    # kernel does not use cannot be the limiter.
+    candidates = ["blocks", "warps"]
+    if regs_per_thread > 0:
+        candidates.insert(0, "registers")
+    if smem_per_block > 0:
+        candidates.insert(0, "shared")
+    limiter = "none"
+    for name in candidates:
+        if limits[name] == blocks:
+            limiter = name
+            break
+
+    warps = blocks * warps_per_block
+    frac = warps / spec.max_warps_per_sm
+    return Occupancy(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        occupancy=frac,
+        limiter=limiter,
+    )
+
+
+def occupancy_curve_smem(
+    spec: GPUSpec,
+    threads_per_block: int,
+    regs_per_thread: int,
+    smem_values: list,
+) -> list:
+    """Occupancy as a function of shared-memory demand (Fig. 10 x-axis).
+
+    Returns a list of ``(smem_per_block, occupancy_fraction)`` tuples.
+    """
+    return [
+        (s, occupancy(spec, threads_per_block, regs_per_thread, s).occupancy)
+        for s in smem_values
+    ]
+
+
+def occupancy_curve_regs(
+    spec: GPUSpec,
+    threads_per_block: int,
+    smem_per_block: int,
+    reg_values: list,
+) -> list:
+    """Occupancy as a function of register demand (Fig. 10 x-axis)."""
+    return [
+        (r, occupancy(spec, threads_per_block, r, smem_per_block).occupancy)
+        for r in reg_values
+    ]

@@ -1,0 +1,87 @@
+"""Functional model of intra-warp data exchange (``shfl.sync``).
+
+Register-level fusion (Sec. VI-B) rearranges dequantized values between
+the registers of a warp's threads using ``__shfl_xor_sync``, bypassing
+shared memory.  This module models the instruction's semantics exactly so
+the fusion algorithm's thread mapping (Alg. 1) can be verified: after the
+modelled shuffles, each lane must hold precisely the values the compute
+instruction (``mma``) expects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def shfl_xor(values: np.ndarray, offset: int, width: int = 32) -> np.ndarray:
+    """Model of ``__shfl_xor_sync`` over a warp.
+
+    Parameters
+    ----------
+    values:
+        Array whose first axis is the lane id (length ``width``); each
+        lane contributes its value and receives the value held by lane
+        ``lane ^ offset``.
+    offset:
+        XOR butterfly offset; must satisfy ``0 <= offset < width``.
+    width:
+        Logical warp width (a power of two, at most 32).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of the same shape where ``out[lane] = values[lane ^ offset]``.
+    """
+    if width <= 0 or width > 32 or width & (width - 1):
+        raise ValueError(f"width must be a power of two in (0, 32], got {width}")
+    values = np.asarray(values)
+    if values.shape[0] != width:
+        raise ValueError(
+            f"first axis must equal warp width {width}, got {values.shape[0]}"
+        )
+    if not 0 <= offset < width:
+        raise ValueError(f"offset must be in [0, {width}), got {offset}")
+    lanes = np.arange(width)
+    return values[lanes ^ offset]
+
+
+def shuffle_exchange(
+    reg_file: np.ndarray, offsets: list, selector=None
+) -> np.ndarray:
+    """Apply a sequence of selective xor-shuffle exchanges.
+
+    Models the loop of Alg. 1 lines 13-14: for each ``offset``, every lane
+    swaps the register slot ``lane ^ offset`` (mod the register count) with
+    its butterfly partner.  This is the in-place exchange pattern the
+    paper uses: ``reg[tid^off] = shfl_xor(reg[tid^off], off)``.
+
+    Parameters
+    ----------
+    reg_file:
+        Array of shape ``(width, n_regs, ...)``; ``reg_file[lane, slot]``
+        is the value in register ``slot`` of ``lane``.
+    offsets:
+        Sequence of xor offsets to apply, in order.
+    selector:
+        Optional callable ``(lane, offset, n_regs) -> slot`` choosing
+        which register slot each lane exchanges at the given offset.  The
+        default is the paper's ``slot = lane ^ offset (mod n_regs)`` rule.
+
+    Returns
+    -------
+    numpy.ndarray
+        New register file after all exchanges.
+    """
+    reg_file = np.array(reg_file, copy=True)
+    width, n_regs = reg_file.shape[0], reg_file.shape[1]
+    if selector is None:
+        def selector(lane, offset, n):  # noqa: ANN001 - local default
+            return (lane ^ offset) % n
+    lanes = np.arange(width)
+    for offset in offsets:
+        slots = np.array([selector(int(l), int(offset), n_regs)
+                          for l in lanes])
+        contributed = reg_file[lanes, slots]
+        received = contributed[lanes ^ offset]
+        reg_file[lanes, slots] = received
+    return reg_file

@@ -1,0 +1,45 @@
+"""Kernel models over the GPU substrate.
+
+Every kernel produces (a) a numerically correct output via numpy and
+(b) a :class:`~repro.gpu.counters.PerfCounters` record from which the
+cost model derives latency.  FP16 baselines follow cutlass-style tiled
+GEMM/GEMV and FlashAttention / FlashDecoding (plus paged variants);
+element-wise quantization kernels model AWQ (weights) and QoQ (KV);
+:mod:`repro.kernels.vq_fused` is the parametric fused VQ kernel that the
+GC/SC baselines and all VQ-LLM optimization levels share.
+"""
+
+from repro.kernels.attention import (
+    AttentionShape,
+    FlashAttentionKernel,
+    FlashDecodingKernel,
+    PagedFlashAttentionKernel,
+    PagedFlashDecodingKernel,
+)
+from repro.kernels.base import KernelResult, TileConfig
+from repro.kernels.elementwise import (
+    ElementwiseAttentionKernel,
+    ElementwiseGemmKernel,
+    ElementwiseGemvKernel,
+)
+from repro.kernels.gemm import FP16GemmKernel, FP16GemvKernel, GemmShape
+from repro.kernels.vq_fused import VQAttentionKernel, VQGemmKernel, VQGemvKernel
+
+__all__ = [
+    "AttentionShape",
+    "ElementwiseAttentionKernel",
+    "ElementwiseGemmKernel",
+    "ElementwiseGemvKernel",
+    "FP16GemmKernel",
+    "FP16GemvKernel",
+    "FlashAttentionKernel",
+    "FlashDecodingKernel",
+    "GemmShape",
+    "KernelResult",
+    "PagedFlashAttentionKernel",
+    "PagedFlashDecodingKernel",
+    "TileConfig",
+    "VQAttentionKernel",
+    "VQGemmKernel",
+    "VQGemvKernel",
+]

@@ -1,0 +1,72 @@
+"""Shared kernel abstractions."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.gpu.costmodel import CostModel, LatencyBreakdown
+from repro.gpu.counters import PerfCounters
+from repro.gpu.spec import GPUSpec
+
+#: FP16 element size, bytes.
+FP16 = 2
+#: FP32 partial/accumulator size, bytes.
+FP32 = 4
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """Thread-block tiling and per-block resources of one kernel."""
+
+    block_m: int
+    block_n: int
+    block_k: int
+    threads: int
+    regs_per_thread: int
+    smem_bytes: int
+
+    def grid(self, m: int, n: int) -> int:
+        """Blocks needed to tile an (m, n) output."""
+        return math.ceil(m / self.block_m) * math.ceil(n / self.block_n)
+
+
+@dataclass
+class KernelResult:
+    """Everything one modelled kernel run produces."""
+
+    name: str
+    counters: PerfCounters
+    latency: LatencyBreakdown
+    output: Optional[np.ndarray] = None
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency.total_us
+
+
+class KernelBase:
+    """Mixin wiring counters through the cost model."""
+
+    name = "kernel"
+
+    def counters(self, spec: GPUSpec) -> PerfCounters:
+        raise NotImplementedError
+
+    def execute(self):
+        """Numerically compute the kernel's output (None if not bound)."""
+        return None
+
+    def result(self, spec: GPUSpec, run_numerics: bool = False) -> KernelResult:
+        """Counters + modelled latency (+ output when requested)."""
+        counters = self.counters(spec)
+        latency = CostModel(spec).latency(counters)
+        output = self.execute() if run_numerics else None
+        return KernelResult(self.name, counters, latency, output)
+
+    def latency_us(self, spec: GPUSpec) -> float:
+        """Modelled latency in microseconds."""
+        return self.result(spec).latency_us

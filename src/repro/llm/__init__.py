@@ -1,0 +1,50 @@
+"""LLM substrate: a numpy Llama-architecture transformer.
+
+The paper evaluates kernels at Llama-7B / Llama-65B shapes and runs an
+end-to-end generation benchmark.  This package provides:
+
+- :mod:`repro.llm.config` — model shape presets (real 7B/65B shapes for
+  the analytic experiments, a tiny shape for numeric ones);
+- :mod:`repro.llm.layers` — RMSNorm, SiLU/SwiGLU, RoPE and softmax, the
+  "other operators" whose share of E2E latency the paper reports;
+- :mod:`repro.llm.kvcache` — FP16 and VQ-compressed KV caches with
+  online (per-token) quantization in the decode phase;
+- :mod:`repro.llm.attention` — reference multi-head attention for
+  prefill and decode;
+- :mod:`repro.llm.model` — a runnable transformer (numerics at tiny
+  scale) plus operator-shape enumeration at any scale for the E2E
+  latency ledger.
+"""
+
+from repro.llm.attention import attention_decode, attention_prefill
+from repro.llm.config import LlamaConfig, llama_7b, llama_65b, tiny_llama
+from repro.llm.kvcache import KVCache, QuantizedKVCache
+from repro.llm.layers import (
+    apply_rope,
+    rms_norm,
+    rope_tables,
+    silu,
+    softmax,
+    swiglu,
+)
+from repro.llm.model import LlamaModel, OperatorShape, decode_operator_shapes
+
+__all__ = [
+    "KVCache",
+    "LlamaConfig",
+    "LlamaModel",
+    "OperatorShape",
+    "QuantizedKVCache",
+    "apply_rope",
+    "attention_decode",
+    "attention_prefill",
+    "decode_operator_shapes",
+    "llama_65b",
+    "llama_7b",
+    "rms_norm",
+    "rope_tables",
+    "silu",
+    "softmax",
+    "swiglu",
+    "tiny_llama",
+]

@@ -1,0 +1,73 @@
+"""Reference multi-head attention (prefill and decode).
+
+These are the mathematical definitions that every kernel implementation
+in :mod:`repro.kernels` (FlashDecoding-style, paged, VQ-fused) must match
+numerically.  Shapes follow the paper's convention: batch B, heads H,
+tokens T, channels C (= head_dim).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.llm.layers import softmax
+
+
+def attention_prefill(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray, causal: bool = True
+) -> np.ndarray:
+    """Full attention over a prompt.
+
+    Parameters
+    ----------
+    q, k, v:
+        Arrays of shape (B, H, T, C).
+    causal:
+        Apply a causal mask (token t attends to tokens <= t).
+
+    Returns
+    -------
+    numpy.ndarray
+        Attention output, shape (B, H, T, C).
+    """
+    q, k, v = (np.asarray(a, dtype=np.float64) for a in (q, k, v))
+    if q.ndim != 4 or k.shape != q.shape or v.shape != q.shape:
+        raise ValueError("q, k, v must share shape (B, H, T, C)")
+    scale = 1.0 / math.sqrt(q.shape[-1])
+    scores = np.einsum("bhtc,bhsc->bhts", q, k) * scale
+    if causal:
+        t = q.shape[2]
+        mask = np.triu(np.ones((t, t), dtype=bool), k=1)
+        scores = np.where(mask[None, None], -np.inf, scores)
+    probs = softmax(scores, axis=-1)
+    return np.einsum("bhts,bhsc->bhtc", probs, v)
+
+
+def attention_decode(
+    q: np.ndarray, k_cache: np.ndarray, v_cache: np.ndarray
+) -> np.ndarray:
+    """Single-token decode attention against a KV cache.
+
+    Parameters
+    ----------
+    q:
+        New-token queries, shape (B, H, C).
+    k_cache, v_cache:
+        Cached keys/values, shape (B, H, T, C).
+
+    Returns
+    -------
+    numpy.ndarray
+        Attention output for the new token, shape (B, H, C).
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k_cache = np.asarray(k_cache, dtype=np.float64)
+    v_cache = np.asarray(v_cache, dtype=np.float64)
+    if q.ndim != 3 or k_cache.ndim != 4:
+        raise ValueError("q must be (B, H, C); caches must be (B, H, T, C)")
+    scale = 1.0 / math.sqrt(q.shape[-1])
+    scores = np.einsum("bhc,bhtc->bht", q, k_cache) * scale
+    probs = softmax(scores, axis=-1)
+    return np.einsum("bht,bhtc->bhc", probs, v_cache)

@@ -1,0 +1,86 @@
+"""Llama model shape presets.
+
+Only the shapes matter for kernel workloads; the 7B/65B presets use the
+published architecture dimensions.  The ``tiny`` preset is small enough
+to materialise random weights and run real numerics through the fused
+kernels and the accuracy-proxy experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LlamaConfig:
+    """Architecture shape of one Llama-family model."""
+
+    name: str
+    hidden: int
+    n_layers: int
+    n_heads: int
+    head_dim: int
+    intermediate: int
+    vocab: int
+    rope_theta: float = 10000.0
+    norm_eps: float = 1e-5
+
+    def __post_init__(self):
+        if self.hidden != self.n_heads * self.head_dim:
+            raise ValueError(
+                f"hidden ({self.hidden}) must equal n_heads*head_dim "
+                f"({self.n_heads}*{self.head_dim})"
+            )
+
+    @property
+    def param_count(self) -> int:
+        """Approximate parameter count (attention + MLP + embeddings)."""
+        per_layer = (4 * self.hidden * self.hidden
+                     + 3 * self.hidden * self.intermediate
+                     + 2 * self.hidden)
+        return (self.n_layers * per_layer
+                + 2 * self.vocab * self.hidden + self.hidden)
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """FP16 KV-cache bytes appended per token per layer pair."""
+        return 2 * self.n_heads * self.head_dim * 2 * self.n_layers
+
+
+def llama_7b() -> LlamaConfig:
+    """Llama-7B: 32 layers, 32 heads x 128, hidden 4096."""
+    return LlamaConfig(
+        name="Llama-7B",
+        hidden=4096,
+        n_layers=32,
+        n_heads=32,
+        head_dim=128,
+        intermediate=11008,
+        vocab=32000,
+    )
+
+
+def llama_65b() -> LlamaConfig:
+    """Llama-65B: 80 layers, 64 heads x 128, hidden 8192."""
+    return LlamaConfig(
+        name="Llama-65B",
+        hidden=8192,
+        n_layers=80,
+        n_heads=64,
+        head_dim=128,
+        intermediate=22016,
+        vocab=32000,
+    )
+
+
+def tiny_llama() -> LlamaConfig:
+    """A materialisable model for numeric tests and accuracy proxies."""
+    return LlamaConfig(
+        name="Tiny-Llama",
+        hidden=128,
+        n_layers=2,
+        n_heads=4,
+        head_dim=32,
+        intermediate=256,
+        vocab=512,
+    )

@@ -1,0 +1,74 @@
+"""Transformer layer primitives: RMSNorm, SiLU/SwiGLU, RoPE, softmax.
+
+These are the "various operators beyond GeMM/GeMV and Attention" the
+paper's E2E evaluation accounts for (RMSNorm, SiLU, RoPE take ~10% of
+FP16 latency, ~20% of the 4-bit-quantized version's).  Implemented as
+plain numpy functions so both the reference model and the fused-kernel
+numerics can share them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Root-mean-square layer normalization over the last axis."""
+    x = np.asarray(x, dtype=np.float64)
+    ms = np.mean(x * x, axis=-1, keepdims=True)
+    return x / np.sqrt(ms + eps) * weight
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """Sigmoid-weighted linear unit: x * sigmoid(x)."""
+    x = np.asarray(x, dtype=np.float64)
+    return x / (1.0 + np.exp(-x))
+
+
+def swiglu(gate: np.ndarray, up: np.ndarray) -> np.ndarray:
+    """Llama MLP activation: SiLU(gate) * up."""
+    return silu(gate) * np.asarray(up, dtype=np.float64)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def rope_tables(
+    max_positions: int, head_dim: int, theta: float = 10000.0
+) -> tuple:
+    """Precompute RoPE cos/sin tables of shape (positions, head_dim/2)."""
+    if head_dim % 2:
+        raise ValueError("head_dim must be even for RoPE")
+    half = head_dim // 2
+    freqs = theta ** (-np.arange(half, dtype=np.float64) / half)
+    angles = np.outer(np.arange(max_positions, dtype=np.float64), freqs)
+    return np.cos(angles), np.sin(angles)
+
+
+def apply_rope(
+    x: np.ndarray, positions: np.ndarray, cos: np.ndarray, sin: np.ndarray
+) -> np.ndarray:
+    """Rotate pairs of channels by position-dependent angles.
+
+    Parameters
+    ----------
+    x:
+        Array of shape (..., seq, head_dim); pairs are the interleaved
+        halves (first half with second half), the Llama convention.
+    positions:
+        Position index per sequence element, shape (seq,).
+    cos, sin:
+        Tables from :func:`rope_tables`.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    head_dim = x.shape[-1]
+    half = head_dim // 2
+    c = cos[positions]
+    s = sin[positions]
+    x1, x2 = x[..., :half], x[..., half:]
+    return np.concatenate([x1 * c - x2 * s, x1 * s + x2 * c], axis=-1)

@@ -1,0 +1,43 @@
+"""Vector-quantization substrate.
+
+Implements the VQ pipeline of the paper's Fig. 1 — sub-vector splitting,
+k-means codebook training, residual quantization, index packing — plus
+the five published algorithm configurations of Tbl. II (QuiP#-4, AQLM-3,
+GPTVQ-2, CQ-4, CQ-2) with their codebook *scoping* rules (which part of a
+tensor shares which codebook), and the element-wise quantization
+baselines (AWQ-like weight INT4, QoQ-like KV INT4) used in Fig. 16/17.
+"""
+
+from repro.vq.algorithms import ALGORITHMS, make_config, make_quantizer
+from repro.vq.codebook import Codebook, CodebookSet
+from repro.vq.config import VQConfig
+from repro.vq.elementwise import (
+    ElementwiseQuantized,
+    awq_quantize_weight,
+    dequantize_elementwise,
+    qoq_quantize_kv,
+    quantize_elementwise,
+)
+from repro.vq.kmeans import kmeans
+from repro.vq.packing import pack_indices, unpack_indices, unpack_cost_ops
+from repro.vq.quantizer import QuantizedTensor, VectorQuantizer
+
+__all__ = [
+    "ALGORITHMS",
+    "Codebook",
+    "CodebookSet",
+    "ElementwiseQuantized",
+    "QuantizedTensor",
+    "VQConfig",
+    "VectorQuantizer",
+    "awq_quantize_weight",
+    "dequantize_elementwise",
+    "kmeans",
+    "make_config",
+    "make_quantizer",
+    "pack_indices",
+    "qoq_quantize_kv",
+    "quantize_elementwise",
+    "unpack_cost_ops",
+    "unpack_indices",
+]

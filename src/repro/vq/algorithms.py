@@ -1,0 +1,112 @@
+"""Published VQ algorithm configurations (Tbl. II).
+
+===========  ==================  ===========  =======  ========  =========
+Algorithm    Compression (FP16)  Vector size  #Entry   Residual  Scope
+===========  ==================  ===========  =======  ========  =========
+QuiP#-4      25%                 8            65536*   2         tensor
+AQLM-3       18.75%              8            4096     2         tensor
+GPTVQ-2      12.5%               4            256      1         tile
+CQ-4         25%                 2            256      1         channel
+CQ-2         12.5%               4            256      1         channel
+===========  ==================  ===========  =======  ========  =========
+
+(*) QuiP# uses a lattice codebook: 65536 nominal entries but every lookup
+reads one of 256 stored base entries plus bit operations.
+
+``make_config`` returns the :class:`~repro.vq.config.VQConfig` for a
+name; ``make_quantizer`` wraps it in a ready
+:class:`~repro.vq.quantizer.VectorQuantizer`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.vq.config import VQConfig
+from repro.vq.quantizer import VectorQuantizer
+
+#: All algorithm presets from Tbl. II, by canonical name.
+ALGORITHMS = {
+    "quip#-4": VQConfig(
+        name="QuiP#-4",
+        vector_size=8,
+        index_bits=16,
+        residuals=2,
+        scope="tensor",
+        lattice=True,
+    ),
+    "aqlm-3": VQConfig(
+        name="AQLM-3",
+        vector_size=8,
+        index_bits=12,
+        residuals=2,
+        scope="tensor",
+    ),
+    "gptvq-2": VQConfig(
+        name="GPTVQ-2",
+        vector_size=4,
+        index_bits=8,
+        residuals=1,
+        scope="tile",
+        tile_shape=(256, 256),
+    ),
+    "cq-4": VQConfig(
+        name="CQ-4",
+        vector_size=2,
+        index_bits=8,
+        residuals=1,
+        scope="channel_group",
+    ),
+    "cq-2": VQConfig(
+        name="CQ-2",
+        vector_size=4,
+        index_bits=8,
+        residuals=1,
+        scope="channel_group",
+    ),
+}
+
+#: Which kernel family each algorithm's paper pairs it with: the first
+#: three quantize weights (GeMM/GeMV), CQ quantizes the KV cache
+#: (attention).
+WEIGHT_ALGOS = ("quip#-4", "aqlm-3", "gptvq-2")
+KV_ALGOS = ("cq-4", "cq-2")
+
+
+def canonical_name(name: str) -> str:
+    """Normalise an algorithm name to its ALGORITHMS key."""
+    key = name.lower().strip().replace(" ", "").replace("_", "-")
+    if key in ALGORITHMS:
+        return key
+    aliases = {
+        "quip4": "quip#-4", "quip#4": "quip#-4", "quip-4": "quip#-4",
+        "quipsharp-4": "quip#-4",
+        "aqlm3": "aqlm-3",
+        "gptvq2": "gptvq-2",
+        "cq4": "cq-4", "cq2": "cq-2",
+    }
+    if key in aliases:
+        return aliases[key]
+    raise KeyError(
+        f"unknown VQ algorithm {name!r}; known: {sorted(ALGORITHMS)}"
+    )
+
+
+def make_config(name: str) -> VQConfig:
+    """Return the Tbl. II configuration for an algorithm name."""
+    return ALGORITHMS[canonical_name(name)]
+
+
+def make_quantizer(
+    name: str,
+    seed: int = 0,
+    kmeans_iters: int = 15,
+    train_sample: Optional[int] = 65536,
+) -> VectorQuantizer:
+    """Build a ready-to-use quantizer for a named algorithm."""
+    return VectorQuantizer(
+        make_config(name),
+        seed=seed,
+        kmeans_iters=kmeans_iters,
+        train_sample=train_sample,
+    )

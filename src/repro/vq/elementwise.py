@@ -1,0 +1,158 @@
+"""Element-wise quantization baselines.
+
+The paper compares VQ-LLM against state-of-the-art element-wise methods
+at equal equivalent bit-width: AWQ (weight-only INT4, group-wise scales)
+for GeMM/GeMV and QoQ (KV INT4, per-head per-token-group scales) for
+attention, both as integrated in qServe.  These baselines quantize each
+scalar independently against a uniform grid — the property that limits
+them to ~4 bits (Fig. 2's Cartesian-grid illustration).
+
+We implement symmetric-zero-point affine quantization with per-group
+scaling, which is the arithmetic core of both methods.  The accuracy
+experiments (Fig. 2, Fig. 17-right proxy) compare its reconstruction
+error against VQ on correlated data; the kernel experiments reuse the
+bit-width and dequantization cost (one multiply-add per element, no
+codebook) in the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ElementwiseQuantized:
+    """An element-wise quantized 2-D tensor (codes + per-group scales)."""
+
+    codes: np.ndarray
+    scales: np.ndarray
+    zeros: np.ndarray
+    bits: int
+    group_size: int
+    shape: tuple
+
+    @property
+    def quantized_bytes(self) -> float:
+        """Storage of codes plus FP16 scale/zero per group."""
+        n = self.shape[0] * self.shape[1]
+        code_bytes = n * self.bits / 8.0
+        meta_bytes = self.scales.size * 2.0 * 2.0
+        return code_bytes + meta_bytes
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the tensor from codes and scales."""
+        return dequantize_elementwise(self)
+
+
+def quantize_elementwise(
+    tensor: np.ndarray, bits: int, group_size: int = 128
+) -> ElementwiseQuantized:
+    """Affine (asymmetric) per-group quantization along rows.
+
+    Each contiguous run of ``group_size`` elements within a row shares
+    one FP16 scale and zero point.  ``bits`` in [2, 8].
+    """
+    tensor = np.asarray(tensor, dtype=np.float64)
+    if tensor.ndim != 2:
+        raise ValueError(f"expected 2-D tensor, got shape {tensor.shape}")
+    if not 2 <= bits <= 8:
+        raise ValueError("bits must be in [2, 8]")
+    rows, cols = tensor.shape
+    if cols % group_size:
+        raise ValueError(
+            f"columns ({cols}) must be divisible by group_size ({group_size})"
+        )
+    qmax = (1 << bits) - 1
+    grouped = tensor.reshape(rows, cols // group_size, group_size)
+    lo = grouped.min(axis=2, keepdims=True)
+    hi = grouped.max(axis=2, keepdims=True)
+    span = np.maximum(hi - lo, 1e-12)
+    scales = span / qmax
+    zeros = lo
+    codes = np.clip(np.round((grouped - zeros) / scales), 0, qmax)
+    return ElementwiseQuantized(
+        codes=codes.astype(np.int16),
+        scales=scales.astype(np.float32),
+        zeros=zeros.astype(np.float32),
+        bits=bits,
+        group_size=group_size,
+        shape=tensor.shape,
+    )
+
+
+def dequantize_elementwise(q: ElementwiseQuantized) -> np.ndarray:
+    """Inverse of :func:`quantize_elementwise`."""
+    grouped = (q.codes.astype(np.float64) * q.scales.astype(np.float64)
+               + q.zeros.astype(np.float64))
+    return grouped.reshape(q.shape)
+
+
+@dataclass
+class AWQQuantized(ElementwiseQuantized):
+    """AWQ result: group-affine codes plus a per-column saliency scale.
+
+    Dequantization divides the group-affine reconstruction by the
+    per-column scale applied before quantization, recovering the
+    original weight domain.
+    """
+
+    col_scale: np.ndarray = None
+
+    def dequantize(self) -> np.ndarray:
+        scaled = dequantize_elementwise(
+            ElementwiseQuantized(self.codes, self.scales, self.zeros,
+                                 self.bits, self.group_size, self.shape))
+        return scaled / self.col_scale[None, :]
+
+    @property
+    def quantized_bytes(self) -> float:
+        base = ElementwiseQuantized.quantized_bytes.fget(self)
+        return base + self.col_scale.size * 2.0
+
+
+def awq_quantize_weight(
+    weight: np.ndarray,
+    bits: int = 4,
+    group_size: int = 128,
+    n_grid: int = 20,
+) -> AWQQuantized:
+    """AWQ-like activation-aware weight quantization.
+
+    AWQ's insight is to scale salient weight channels before uniform
+    quantization and search the scaling exponent for minimum error.
+    Without activation statistics we use the weight's own per-channel
+    magnitude as the saliency proxy, which preserves the published
+    algorithm's structure (scale -> quantize -> descale, exponent grid
+    search).
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    saliency = np.maximum(np.abs(weight).mean(axis=0), 1e-8)
+    saliency = saliency / saliency.mean()
+    best = None
+    best_err = np.inf
+    for i in range(n_grid):
+        alpha = i / max(n_grid - 1, 1)
+        s = saliency ** alpha
+        q = quantize_elementwise(weight * s[None, :], bits, group_size)
+        candidate = AWQQuantized(
+            codes=q.codes, scales=q.scales, zeros=q.zeros, bits=bits,
+            group_size=group_size, shape=weight.shape, col_scale=s)
+        err = float(np.mean((candidate.dequantize() - weight) ** 2))
+        if err < best_err:
+            best_err = err
+            best = candidate
+    return best
+
+
+def qoq_quantize_kv(
+    kv: np.ndarray, bits: int = 4, group_size: int = 64
+) -> ElementwiseQuantized:
+    """QoQ-like KV-cache quantization: per-token-group INT4.
+
+    The KV cache is laid out (tokens, channels); QoQ quantizes with
+    fine-grained groups along channels per token block.  We reuse the
+    affine per-group scheme with the KV-typical smaller group size.
+    """
+    return quantize_elementwise(kv, bits=bits, group_size=group_size)

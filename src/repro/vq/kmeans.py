@@ -1,0 +1,147 @@
+"""K-means clustering for codebook training.
+
+The typical VQ pipeline (Fig. 1) clusters sub-vectors with k-means and
+uses the centroids as codebook entries.  This is a dependency the paper
+takes from the quantization literature; we implement Lloyd's algorithm
+with k-means++ seeding, chunked distance computation (so large tensors do
+not materialise an N x K distance matrix), and empty-cluster repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Centroids and assignments from one k-means run."""
+
+    centroids: np.ndarray
+    assignments: np.ndarray
+    inertia: float
+    iterations: int
+
+
+def _chunked_assign(
+    data: np.ndarray, centroids: np.ndarray, chunk: int = 65536
+) -> tuple:
+    """Nearest-centroid assignment without a full distance matrix.
+
+    Uses the ||x||^2 - 2 x.c + ||c||^2 expansion; the ||x||^2 term is
+    constant per point so it is skipped for argmin and added back for the
+    inertia.
+    """
+    n = data.shape[0]
+    assignments = np.empty(n, dtype=np.int64)
+    partial = np.empty(n, dtype=np.float64)
+    c_sq = np.einsum("kd,kd->k", centroids, centroids)
+    for start in range(0, n, chunk):
+        block = data[start:start + chunk]
+        scores = block @ centroids.T
+        scores *= -2.0
+        scores += c_sq[None, :]
+        idx = np.argmin(scores, axis=1)
+        assignments[start:start + chunk] = idx
+        partial[start:start + chunk] = scores[np.arange(block.shape[0]), idx]
+    x_sq = np.einsum("nd,nd->n", data, data)
+    inertia = float(np.sum(partial + x_sq))
+    return assignments, max(inertia, 0.0)
+
+
+def _kmeanspp_init(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """K-means++ seeding (distance-proportional sampling)."""
+    n = data.shape[0]
+    centroids = np.empty((k, data.shape[1]), dtype=np.float64)
+    first = rng.integers(n)
+    centroids[0] = data[first]
+    d2 = np.sum((data - centroids[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = d2.sum()
+        if total <= 0:
+            # All remaining points coincide with chosen centroids.
+            centroids[i:] = data[rng.integers(n, size=k - i)]
+            break
+        probs = d2 / total
+        choice = rng.choice(n, p=probs)
+        centroids[i] = data[choice]
+        d2 = np.minimum(d2, np.sum((data - centroids[i]) ** 2, axis=1))
+    return centroids
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    max_iters: int = 25,
+    seed: int = 0,
+    sample: Optional[int] = 262144,
+    tol: float = 1e-6,
+) -> KMeansResult:
+    """Cluster ``data`` (N, D) into ``k`` centroids.
+
+    Parameters
+    ----------
+    data:
+        Points to cluster, shape (N, D).
+    k:
+        Number of clusters; if ``k >= N`` the points themselves (padded
+        by resampling) are returned as centroids.
+    max_iters:
+        Lloyd iteration cap.
+    seed:
+        Deterministic RNG seed.
+    sample:
+        If set and N exceeds it, training runs on a uniform subsample of
+        this size (assignments are still computed for all points at the
+        end).  Codebook quality is insensitive to this for the tensor
+        sizes used here, and it keeps training tractable.
+    tol:
+        Relative inertia-improvement threshold for early stopping.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"data must be 2-D (N, D), got shape {data.shape}")
+    n = data.shape[0]
+    if n == 0:
+        raise ValueError("cannot cluster an empty dataset")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    rng = np.random.default_rng(seed)
+
+    if k >= n:
+        reps = data[rng.integers(n, size=k)]
+        reps[:n] = data
+        assignments, inertia = _chunked_assign(data, reps)
+        return KMeansResult(reps, assignments, inertia, 0)
+
+    train = data
+    if sample is not None and n > sample:
+        train = data[rng.choice(n, size=sample, replace=False)]
+
+    centroids = _kmeanspp_init(train, k, rng)
+    prev_inertia = np.inf
+    iterations = 0
+    for iterations in range(1, max_iters + 1):
+        assignments, inertia = _chunked_assign(train, centroids)
+        counts = np.bincount(assignments, minlength=k).astype(np.float64)
+        sums = np.zeros_like(centroids)
+        np.add.at(sums, assignments, train)
+        nonempty = counts > 0
+        centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
+        empty = np.flatnonzero(~nonempty)
+        if empty.size:
+            # Re-seed empty clusters at the points farthest from their
+            # centroid to split the largest clusters.
+            d2 = np.sum((train - centroids[assignments]) ** 2, axis=1)
+            worst = np.argsort(d2)[-empty.size:]
+            centroids[empty] = train[worst]
+        if prev_inertia - inertia <= tol * max(prev_inertia, 1e-12):
+            break
+        prev_inertia = inertia
+
+    assignments, inertia = _chunked_assign(data, centroids)
+    return KMeansResult(centroids, assignments, inertia, iterations)

@@ -1,0 +1,91 @@
+"""Index bit-packing.
+
+Quantized tensors store codebook indices at ``index_bits`` per code.
+Aligned widths (8/16 bits, and power-of-two sub-byte widths) unpack with
+one shift/mask; AQLM's 12-bit format straddles byte boundaries and costs
+extra decode instructions — the paper attributes AQLM-3's behaviour in
+Fig. 13/14 to exactly this.  :func:`unpack_cost_ops` exposes that cost to
+the performance model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pack_indices(indices: np.ndarray, bits: int) -> np.ndarray:
+    """Pack an array of indices into a dense little-endian bitstream.
+
+    Parameters
+    ----------
+    indices:
+        Integer array; every value must fit in ``bits`` bits.
+    bits:
+        Width per index, 1..16.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint8`` array of ceil(n * bits / 8) bytes.
+    """
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    flat = np.asarray(indices).ravel().astype(np.uint64)
+    if flat.size and flat.max() >= (1 << bits):
+        raise ValueError(f"an index does not fit in {bits} bits")
+    total_bits = flat.size * bits
+    out = np.zeros((total_bits + 7) // 8, dtype=np.uint8)
+    positions = np.arange(flat.size, dtype=np.uint64) * bits
+    for b in range(bits):
+        bitvals = (flat >> np.uint64(b)) & np.uint64(1)
+        absolute = positions + np.uint64(b)
+        byte_idx = (absolute >> np.uint64(3)).astype(np.int64)
+        bit_in_byte = (absolute & np.uint64(7)).astype(np.uint8)
+        np.bitwise_or.at(out, byte_idx,
+                         (bitvals.astype(np.uint8) << bit_in_byte))
+    return out
+
+
+def unpack_indices(packed: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_indices`: recover ``count`` indices."""
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    packed = np.asarray(packed, dtype=np.uint8)
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    needed = (count * bits + 7) // 8
+    if packed.size < needed:
+        raise ValueError(
+            f"packed stream too short: {packed.size} bytes < {needed} needed"
+        )
+    out = np.zeros(count, dtype=np.uint64)
+    positions = np.arange(count, dtype=np.uint64) * bits
+    for b in range(bits):
+        absolute = positions + np.uint64(b)
+        byte_idx = (absolute >> np.uint64(3)).astype(np.int64)
+        bit_in_byte = (absolute & np.uint64(7)).astype(np.uint8)
+        bitvals = (packed[byte_idx] >> bit_in_byte) & np.uint8(1)
+        out |= bitvals.astype(np.uint64) << np.uint64(b)
+    return out.astype(np.int64)
+
+
+def is_aligned(bits: int) -> bool:
+    """Whether a width unpacks with a single shift/mask.
+
+    Byte and halfword widths, and power-of-two sub-byte widths, never
+    straddle a byte boundary when densely packed.
+    """
+    return bits in (1, 2, 4, 8, 16)
+
+
+def unpack_cost_ops(bits: int) -> int:
+    """Decode instructions per index for the performance model.
+
+    Aligned widths cost one extract; misaligned widths (e.g. AQLM's 12
+    bits) cost a two-word load, shift, or-combine and mask — modelled as
+    three operations, matching the paper's observation that AQLM's
+    unpacking depresses its compute-pipeline utilization.
+    """
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    return 1 if is_aligned(bits) else 3

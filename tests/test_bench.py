@@ -1,0 +1,116 @@
+"""Harness, workload and E2E-ledger tests."""
+
+import numpy as np
+import pytest
+
+from repro.bench.accuracy import (
+    correlated_2d_sample,
+    mse_elementwise,
+    mse_vq,
+)
+from repro.bench.e2e import MODES, E2ELedger
+from repro.bench.harness import ExperimentResult, format_table
+from repro.bench.workloads import (
+    llama_attention_shape,
+    llama_gemm_shape,
+    llama_gemv_shape,
+)
+from repro.gpu.spec import A40, RTX4090
+from repro.llm.config import llama_7b, llama_65b
+
+
+class TestHarness:
+    def test_add_row_validates_width(self):
+        r = ExperimentResult("x", "t", columns=("a", "b"))
+        r.add_row(1, 2)
+        with pytest.raises(ValueError):
+            r.add_row(1, 2, 3)
+
+    def test_column_extraction(self):
+        r = ExperimentResult("x", "t", columns=("a", "b"))
+        r.add_row(1, "p")
+        r.add_row(2, "q")
+        assert r.column("a") == [1, 2]
+        assert r.as_dicts()[1] == {"a": 2, "b": "q"}
+
+    def test_render_contains_values(self):
+        r = ExperimentResult("x", "Title", columns=("metric", "value"))
+        r.add_row("speed", 12.5)
+        text = r.render()
+        assert "Title" in text and "12.50" in text
+
+    def test_format_table_alignment(self):
+        text = format_table("T", ("col",), [[123456.0]], notes=["hi"])
+        assert "123,456" in text
+        assert "note: hi" in text
+
+
+class TestWorkloads:
+    def test_llama7b_shapes(self):
+        cfg = llama_7b()
+        assert llama_gemm_shape(cfg, 1024).m == 1024
+        assert llama_gemv_shape(cfg, 16).m == 16
+        attn = llama_attention_shape(cfg, batch=8, seq_len=4096)
+        assert attn.heads == 32 and attn.head_dim == 128
+
+    def test_llama65b_is_bigger(self):
+        small = llama_gemm_shape(llama_7b())
+        big = llama_gemm_shape(llama_65b())
+        assert big.n == 2 * small.n
+
+
+class TestAccuracyProxy:
+    def test_vq_beats_elementwise_on_correlated_data(self):
+        data = correlated_2d_sample(n=2048, rho=0.9, seed=0)
+        for bits in (2, 4):
+            assert mse_vq(data, bits, seed=0) < mse_elementwise(data, bits)
+
+    def test_more_bits_help_both(self):
+        data = correlated_2d_sample(n=2048, seed=1)
+        assert mse_vq(data, 4, seed=1) < mse_vq(data, 2, seed=1)
+        assert mse_elementwise(data, 4) < mse_elementwise(data, 2)
+
+
+class TestE2ELedger:
+    @pytest.fixture(scope="class")
+    def ledger(self):
+        return E2ELedger(RTX4090, llama_7b())
+
+    def test_decode_step_positive(self, ledger):
+        step = ledger.decode_step(16, 1024, "fp16")
+        assert step.total_us > 0
+        assert 0 < step.elementwise_share < 0.5
+
+    def test_quantized_modes_faster(self, ledger):
+        fp16 = ledger.decode_step(16, 1024, "fp16").total_us
+        for mode in ("qserve", "vq4", "vq2"):
+            assert ledger.decode_step(16, 1024, mode).total_us < fp16
+
+    def test_vq2_faster_than_vq4(self, ledger):
+        vq4 = ledger.decode_step(16, 1024, "vq4").total_us
+        vq2 = ledger.decode_step(16, 1024, "vq2").total_us
+        assert vq2 < vq4
+
+    def test_generation_integrates_decode(self, ledger):
+        gen = ledger.generation_us(16, 1024, 64, "fp16", samples=3)
+        step = ledger.decode_step(16, 1024, "fp16").total_us
+        assert gen >= step * 64 * 0.9
+
+    def test_zero_tokens(self, ledger):
+        assert ledger.generation_us(16, 1024, 0, "fp16") == 0.0
+
+    def test_speedups_structure(self, ledger):
+        speedups = ledger.speedups(16, 256, 16)
+        assert set(speedups) == set(MODES)
+        assert speedups["fp16"] == pytest.approx(1.0)
+        assert all(s > 1.0 for m, s in speedups.items() if m != "fp16")
+
+    def test_a40_speedup_at_least_4090(self):
+        ours = E2ELedger(RTX4090, llama_7b()).speedups(16, 256, 8)
+        theirs = E2ELedger(A40, llama_7b()).speedups(16, 256, 8)
+        # Paper: the bandwidth-constrained A40 gains more from VQ.
+        assert theirs["vq4"] >= ours["vq4"] * 0.95
+
+    def test_unknown_mode_rejected(self, ledger):
+        with pytest.raises(ValueError):
+            ledger.decode_step(1, 128, "int3")

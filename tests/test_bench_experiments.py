@@ -1,0 +1,65 @@
+"""Experiment-registry and CLI tests (cheap experiments only; the
+expensive figures are exercised by the benchmark suite)."""
+
+import pytest
+
+from repro.bench.ablation import ABLATIONS
+from repro.bench.ablation import main as ablation_main
+from repro.bench.ablation import quantization_overhead, \
+    shuffle_threshold_sweep
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    main,
+    tbl02_configs,
+    tbl03_axes,
+)
+from repro.bench.harness import ExperimentResult
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {"fig2", "fig4", "fig8", "fig9", "fig10", "fig13",
+                    "fig14", "fig15", "fig16", "fig17", "fig17acc",
+                    "fig18", "tbl2", "tbl3", "tbl5"}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_ablation_registry(self):
+        assert {"bandwidth", "threshold", "floor",
+                "quant-overhead"} <= set(ABLATIONS)
+
+
+class TestCheapExperiments:
+    def test_tbl2_returns_result(self):
+        result = tbl02_configs()
+        assert isinstance(result, ExperimentResult)
+        assert len(result.rows) == 5
+
+    def test_tbl3_returns_result(self):
+        result = tbl03_axes()
+        assert len(result.rows) == 6
+
+    def test_threshold_sweep(self):
+        result = shuffle_threshold_sweep(thresholds=(5,))
+        assert len(result.rows) == 1
+
+    def test_quant_overhead(self):
+        metrics = dict(quantization_overhead().rows)
+        assert metrics["encode_vs_projection"] > 0
+
+
+class TestCLI:
+    def test_main_runs_named_experiment(self, capsys):
+        assert main(["tbl3"]) == 0
+        out = capsys.readouterr().out
+        assert "Tbl. III" in out
+
+    def test_main_rejects_unknown(self, capsys):
+        assert main(["fig99"]) == 1
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_ablation_main(self, capsys):
+        assert ablation_main(["quant-overhead"]) == 0
+        assert "quantization overhead" in capsys.readouterr().out
+
+    def test_ablation_main_rejects_unknown(self, capsys):
+        assert ablation_main(["nope"]) == 1

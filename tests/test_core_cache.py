@@ -1,0 +1,130 @@
+"""Codebook-cache tests (Sec. V semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CacheBoundaries, CodebookCache, plan_boundaries
+from repro.core.hotness import profile_hotness
+from repro.core.slack import ResourceSlack
+
+
+class TestBoundaries:
+    def test_level_of(self):
+        b = CacheBoundaries(n_reg=4, n_shared=64)
+        assert b.level_of(0) == "register"
+        assert b.level_of(3) == "register"
+        assert b.level_of(4) == "shared"
+        assert b.level_of(63) == "shared"
+        assert b.level_of(64) == "global"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheBoundaries(n_reg=-1, n_shared=4)
+        with pytest.raises(ValueError):
+            CacheBoundaries(n_reg=8, n_shared=4)
+
+
+class TestPlanBoundaries:
+    def test_warp_distributed_register_budget(self):
+        # 8 regs/thread slack * 4 B * 32 lanes = 1024 B -> 128 entries
+        # of 8 B, capped by hot_entries.
+        slack = ResourceSlack(regs_per_thread=8, smem_bytes=0,
+                              baseline_blocks_per_sm=2)
+        b = plan_boundaries(slack, entry_bytes=8, n_entries=256,
+                            hot_entries=20)
+        assert b.n_reg == 20
+
+    def test_shared_budget_divided_by_books(self):
+        slack = ResourceSlack(0, 16384, 2)
+        one = plan_boundaries(slack, 8, 4096, resident_books=1)
+        many = plan_boundaries(slack, 8, 4096, resident_books=16)
+        assert one.n_shared == 2048
+        assert many.n_shared == 128
+
+    def test_capped_at_entry_count(self):
+        slack = ResourceSlack(64, 1 << 20, 2)
+        b = plan_boundaries(slack, 8, 256)
+        assert b.n_shared == 256
+
+    def test_zero_hot_entries_disables_register_level(self):
+        slack = ResourceSlack(64, 1024, 2)
+        b = plan_boundaries(slack, 8, 256, hot_entries=0)
+        assert b.n_reg == 0
+
+    def test_validation(self):
+        slack = ResourceSlack(0, 0, 1)
+        with pytest.raises(ValueError):
+            plan_boundaries(slack, 0, 256)
+        with pytest.raises(ValueError):
+            plan_boundaries(slack, 8, 256, resident_books=0)
+
+
+class TestCodebookCache:
+    @pytest.fixture()
+    def cache(self, qt_gptvq):
+        return CodebookCache(qt_gptvq)
+
+    def test_reorder_preserves_dequantization(self, cache, qt_gptvq):
+        assert np.allclose(cache.dequantize(), qt_gptvq.dequantize())
+
+    def test_reordered_index_zero_is_hottest(self, cache):
+        counts = np.bincount(cache.tensor.lookup_indices().ravel(),
+                             minlength=256)
+        assert counts[0] == counts.max()
+
+    def test_access_requires_load(self, cache):
+        with pytest.raises(RuntimeError):
+            cache.access(0)
+
+    def test_load_default_boundaries(self, cache):
+        slack = ResourceSlack(regs_per_thread=4, smem_bytes=1024,
+                              baseline_blocks_per_sm=2)
+        bounds = cache.load(slack)
+        assert bounds is cache.boundaries
+        assert bounds.n_shared >= bounds.n_reg
+
+    def test_user_override(self, cache):
+        override = CacheBoundaries(2, 100)
+        assert cache.load(ResourceSlack(0, 0, 1), override) == override
+
+    def test_access_records_levels(self, cache):
+        cache.load(ResourceSlack(0, 0, 1), CacheBoundaries(1, 16))
+        cache.access(0)
+        cache.access(5)
+        cache.access(200)
+        assert cache.level_hits == {"register": 1, "shared": 1,
+                                    "global": 1}
+
+    def test_access_returns_entry_vector(self, cache, qt_gptvq):
+        cache.load(ResourceSlack(0, 0, 1), CacheBoundaries(0, 256))
+        entry = cache.access(3)
+        book = cache.tensor.codebooks.get(0, 0)
+        assert np.allclose(entry, book.entries[3])
+
+    def test_switch_changes_group(self, qt_cq2_kv):
+        # CQ trains one codebook per channel group: Switch is needed.
+        kv_cache = CodebookCache(qt_cq2_kv)
+        kv_cache.load(ResourceSlack(0, 0, 1), CacheBoundaries(0, 256))
+        kv_cache.switch(1)
+        entry = kv_cache.access(0)
+        book = kv_cache.tensor.codebooks.get(1, 0)
+        assert np.allclose(entry, book.entries[0])
+
+    def test_switch_validates_range(self, cache):
+        with pytest.raises(IndexError):
+            cache.switch(10_000)
+        with pytest.raises(IndexError):
+            cache.switch(0, residual=5)
+
+    def test_coverage_sums_to_one(self, cache):
+        cache.load(ResourceSlack(0, 0, 1), CacheBoundaries(4, 64))
+        cov = cache.coverage()
+        assert (cov["register"] + cov["shared"] + cov["global"]
+                == pytest.approx(1.0))
+        assert cov["register"] > 0  # hottest entries see traffic
+
+    def test_staged_bytes(self, cache):
+        cache.load(ResourceSlack(0, 0, 1), CacheBoundaries(4, 64))
+        staged = cache.staged_bytes()
+        assert staged["register_per_thread"] == 4 * 8
+        assert staged["shared_per_book"] == 60 * 8

@@ -1,0 +1,106 @@
+"""Codebook-centric dataflow tests (Tbl. III and the split factor)."""
+
+import pytest
+
+from repro.core.dataflow import (
+    axes_for,
+    optimal_split_factor,
+    plan_dataflow,
+)
+from repro.vq.algorithms import make_config
+
+
+class TestAxes:
+    def test_table3_weight_rows(self):
+        aqlm = axes_for("gemm", make_config("aqlm-3"))
+        assert aqlm.reduce_axes == "MR"
+        assert aqlm.switch_axes == "R"
+        gptvq = axes_for("gemm", make_config("gptvq-2"))
+        assert gptvq.switch_axes == "MN"
+
+    def test_table3_attention_rows(self):
+        cq = make_config("cq-2")
+        k_spec = axes_for("attention_k", cq)
+        v_spec = axes_for("attention_v", cq)
+        assert k_spec.reduce_axes == "C"
+        assert v_spec.reduce_axes == "T"
+        assert k_spec.switch_axes == v_spec.switch_axes == "HC"
+
+    def test_conflict_axes(self):
+        # K cache: reduce C intersects switch HC -> global reduction.
+        cq = make_config("cq-2")
+        assert axes_for("attention_k", cq).needs_global_reduction
+        # V cache: reduce T does not intersect HC.
+        assert not axes_for("attention_v", cq).needs_global_reduction
+
+    def test_unsupported_pairing_raises(self):
+        with pytest.raises(KeyError):
+            axes_for("gemm", make_config("cq-2"))
+
+
+class TestSplitFactor:
+    def test_balances_traffic(self):
+        # codebook traffic 64 MB, output 1 MB -> sqrt(64) = 8.
+        assert optimal_split_factor(64e6, 1e6, max_split=32) == 8
+
+    def test_clamps_to_max(self):
+        assert optimal_split_factor(1e12, 1.0, max_split=16) == 16
+
+    def test_clamps_to_one(self):
+        assert optimal_split_factor(1.0, 1e12, max_split=16) == 1
+
+    def test_zero_codebook_traffic(self):
+        assert optimal_split_factor(0.0, 1e6, max_split=8) == 1
+
+    def test_zero_output(self):
+        assert optimal_split_factor(1e6, 0.0, max_split=8) == 8
+
+    def test_rejects_bad_max(self):
+        with pytest.raises(ValueError):
+            optimal_split_factor(1.0, 1.0, max_split=0)
+
+    def test_balance_point_minimises_objective(self):
+        codebook, output = 3.7e7, 2.1e5
+        best = optimal_split_factor(codebook, output, max_split=64)
+
+        def objective(s):
+            return codebook / s + s * output
+
+        for s in (1, 2, 4, 8, 16, 32, 64):
+            assert objective(best) <= objective(s) * 1.5
+
+
+class TestPlanDataflow:
+    def test_disabled_is_naive(self):
+        plan = plan_dataflow("attention_k", make_config("cq-2"),
+                             naive_codebook_traffic=1e8,
+                             distinct_codebook_bytes=1e5,
+                             output_bytes=1e5, max_split=32, enable=False)
+        assert plan.kind == "naive"
+        assert plan.split_factor == 1
+        assert plan.reduction_traffic_bytes == 0.0
+        assert plan.extra_kernel_launches == 0
+
+    def test_enabled_reduces_codebook_traffic(self):
+        plan = plan_dataflow("attention_k", make_config("cq-2"),
+                             naive_codebook_traffic=1e8,
+                             distinct_codebook_bytes=1e5,
+                             output_bytes=1e5, max_split=32)
+        assert plan.kind == "codebook_centric"
+        assert plan.codebook_traffic_bytes < 1e8
+        assert plan.reduction_traffic_bytes > 0
+        assert plan.extra_kernel_launches == 1
+
+    def test_floor_is_distinct_bytes(self):
+        plan = plan_dataflow("attention_k", make_config("cq-2"),
+                             naive_codebook_traffic=1e9,
+                             distinct_codebook_bytes=5e6,
+                             output_bytes=1.0, max_split=10_000)
+        assert plan.codebook_traffic_bytes >= 5e6
+
+    def test_no_reduction_when_no_conflict(self):
+        plan = plan_dataflow("attention_v", make_config("cq-2"),
+                             naive_codebook_traffic=1e8,
+                             distinct_codebook_bytes=1e5,
+                             output_bytes=1e5, max_split=32)
+        assert plan.reduction_traffic_bytes == 0.0

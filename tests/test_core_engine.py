@@ -1,0 +1,60 @@
+"""Compute-engine and level-sweep tests."""
+
+import pytest
+
+from repro.core.engine import ComputeEngine, LevelSweep
+from repro.gpu.spec import RTX4090
+from repro.kernels.gemm import FP16GemvKernel, GemmShape
+
+
+class TestLevelSweep:
+    SWEEP = LevelSweep("x", {"GC": 100.0, "SC": 80.0, "O1": 60.0,
+                             "O2": 55.0, "O3": 40.0, "O4": 42.0})
+
+    def test_best_level(self):
+        assert self.SWEEP.best_level == "O3"
+        assert self.SWEEP.best_us == 40.0
+
+    def test_reduction_vs_gc(self):
+        assert self.SWEEP.reduction_vs("GC") == pytest.approx(0.6)
+
+    def test_reduction_of_level(self):
+        assert self.SWEEP.reduction_of("SC") == pytest.approx(0.2)
+
+    def test_reduction_vs_other_baseline(self):
+        assert self.SWEEP.reduction_vs("SC") == pytest.approx(0.5)
+
+
+class TestComputeEngine:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return ComputeEngine(RTX4090)
+
+    def test_latency_of_plain_kernel(self, engine):
+        k = FP16GemvKernel(GemmShape(1, 2048, 2048))
+        assert engine.latency_us(k) > 0
+
+    def test_latency_of_generated_kernel(self, engine, qt_gptvq):
+        gk = engine.generator.generate_gemv(
+            GemmShape(1, 2048, 2048), qt_gptvq, level="O4")
+        assert engine.latency_us(gk) == pytest.approx(gk.latency_us())
+
+    def test_latency_rejects_unknown_type(self, engine):
+        with pytest.raises(TypeError):
+            engine.latency_us("not a kernel")
+
+    def test_sweep_covers_all_levels(self, engine, qt_gptvq):
+        sweep = engine.sweep(engine.generator.generate_gemv,
+                             GemmShape(1, 2048, 2048), qt_gptvq,
+                             name="gemv")
+        assert set(sweep.latencies_us) == {"GC", "SC", "O1", "O2",
+                                           "O3", "O4"}
+        assert sweep.reduction_vs("GC") >= 0.0
+
+    def test_compare(self, engine):
+        kernels = {
+            "small": FP16GemvKernel(GemmShape(1, 1024, 1024)),
+            "large": FP16GemvKernel(GemmShape(1, 8192, 8192)),
+        }
+        out = engine.compare(kernels)
+        assert out["large"] > out["small"]

@@ -1,0 +1,125 @@
+"""Hierarchical-fusion tests: shuffle counts, Alg. 1 mapping, exchange."""
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import (
+    REQUIRED_LAYOUT,
+    SHUFFLE_THRESHOLD,
+    decide_fusion,
+    exchange_to_compute_layout,
+    n_shuffles,
+    thread_mapping,
+)
+from repro.vq.algorithms import make_config
+
+
+class TestShuffleCounts:
+    """Tbl. V's #Shuffle row."""
+
+    @pytest.mark.parametrize("algo,op,expected", [
+        ("quip#-4", "gemm", 3),
+        ("aqlm-3", "gemm", 3),
+        ("gptvq-2", "gemm", 1),
+        ("quip#-4", "gemv", 7),
+        ("aqlm-3", "gemv", 7),
+        ("gptvq-2", "gemv", 3),
+        ("cq-2", "attention_v", 3),
+        ("cq-4", "attention_v", 1),
+    ])
+    def test_paper_shuffle_counts(self, algo, op, expected):
+        cfg = make_config(algo)
+        assert n_shuffles(cfg.vector_size, REQUIRED_LAYOUT[op]) == expected
+
+    def test_no_shuffles_when_layouts_match(self):
+        assert n_shuffles(2, 2) == 0
+        assert n_shuffles(2, 4) == 0
+
+    def test_rejects_non_power_of_two_ratio(self):
+        with pytest.raises(ValueError):
+            n_shuffles(12, 2)
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            n_shuffles(8, 3)
+
+
+class TestDecideFusion:
+    def test_register_fusion_below_threshold(self):
+        d = decide_fusion(8, "gemm", enable_register=True)
+        assert d.uses_register_fusion
+        assert d.n_shuffles == 3
+
+    def test_shared_fusion_above_threshold(self):
+        # QuiP#/AQLM GeMV: 7 shuffles > 5 -> stay in shared memory.
+        d = decide_fusion(8, "gemv", enable_register=True)
+        assert d.level == "shared"
+        assert d.n_shuffles == 7
+
+    def test_disabled_register_fusion(self):
+        d = decide_fusion(4, "gemm", enable_register=False)
+        assert d.level == "shared"
+
+    def test_threshold_is_five(self):
+        assert SHUFFLE_THRESHOLD == 5
+
+    def test_custom_threshold(self):
+        d = decide_fusion(8, "gemv", threshold=7)
+        assert d.uses_register_fusion
+
+
+class TestThreadMapping:
+    def test_fig12_mini_warps(self):
+        # Fig. 12: vector 8, mma layout 2 -> mini-warps of 4 threads,
+        # 3 shuffles.
+        mapping = thread_mapping(8, 2)
+        assert mapping.mini_warp_size == 4
+        assert mapping.n_shuffles == 3
+
+    def test_mapping_is_permutation(self):
+        for v, req in ((8, 2), (8, 1), (4, 2), (4, 1), (2, 1)):
+            mapping = thread_mapping(v, req)
+            assert sorted(mapping.dequant_thread.tolist()) == list(range(32))
+
+    def test_matched_layout_identity(self):
+        mapping = thread_mapping(2, 2)
+        assert mapping.mini_warp_size == 1
+        assert mapping.n_shuffles == 0
+
+    def test_mini_warps_partition_the_warp(self):
+        mapping = thread_mapping(8, 2)
+        members = sorted(w for mw in mapping.mini_warps for w in mw)
+        assert members == list(range(32))
+
+
+class TestExchange:
+    @pytest.mark.parametrize("vector,req", [(8, 2), (4, 2), (4, 1), (8, 4)])
+    def test_exchange_transposes_mini_warps(self, vector, req):
+        """After the xor butterfly, lane l holds the chunks compute
+        thread l consumes: the mini-warp's (lane, slot) transpose."""
+        rng = np.random.default_rng(vector * 10 + req)
+        warp = rng.standard_normal((32, vector))
+        out = exchange_to_compute_layout(warp, req)
+        ratio = vector // req
+        chunks_in = warp.reshape(32, ratio, req)
+        chunks_out = out.reshape(32, ratio, req)
+        for base in range(0, 32, ratio):
+            for l in range(ratio):
+                for s in range(ratio):
+                    assert np.allclose(chunks_out[base + l, s],
+                                       chunks_in[base + s, l])
+
+    def test_exchange_identity_when_matched(self):
+        warp = np.arange(64, dtype=float).reshape(32, 2)
+        out = exchange_to_compute_layout(warp, 2)
+        assert np.array_equal(out, warp)
+
+    def test_exchange_preserves_values(self):
+        rng = np.random.default_rng(9)
+        warp = rng.standard_normal((32, 8))
+        out = exchange_to_compute_layout(warp, 2)
+        assert np.allclose(np.sort(warp.ravel()), np.sort(out.ravel()))
+
+    def test_exchange_uses_expected_shuffle_count(self):
+        # The loop runs ratio-1 offsets, matching n_shuffles.
+        assert n_shuffles(8, 2) == 8 // 2 - 1

@@ -1,0 +1,94 @@
+"""Bank-conflict model tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.banks import BankConflictModel, warp_conflict_degree
+from repro.gpu.spec import RTX4090
+
+
+class TestWarpConflictDegree:
+    def test_broadcast_is_free(self):
+        # All lanes read the same entry: one transaction.
+        assert warp_conflict_degree([5] * 32, entry_bytes=4) == 1
+
+    def test_perfectly_strided_single_word(self):
+        # 32 lanes reading entries 0..31 of 4-byte entries: one word per
+        # bank, conflict-free.
+        assert warp_conflict_degree(list(range(32)), entry_bytes=4) == 1
+
+    def test_stride_collision(self):
+        # Entries 0, 32, 64, ... of 4-byte entries all map to bank 0.
+        indices = [i * 32 for i in range(32)]
+        assert warp_conflict_degree(indices, entry_bytes=4) == 32
+
+    def test_multiword_entries_raise_degree(self):
+        # 8-byte entries: each access touches 2 banks; 32 lanes reading
+        # 32 distinct consecutive entries need 2 words per bank.
+        assert warp_conflict_degree(list(range(32)), entry_bytes=8) == 2
+
+    def test_sixteen_byte_entries(self):
+        assert warp_conflict_degree(list(range(32)), entry_bytes=16) == 4
+
+    def test_empty_warp(self):
+        assert warp_conflict_degree([], entry_bytes=8) == 0
+
+    def test_rejects_nonpositive_entry_bytes(self):
+        with pytest.raises(ValueError):
+            warp_conflict_degree([0], entry_bytes=0)
+
+    def test_worst_case_exceeds_ideal(self):
+        # Random skewed indices over many entries conflict more than
+        # the ideal multi-word floor.
+        rng = np.random.default_rng(0)
+        indices = (rng.integers(0, 256, size=32) * 8) % 256
+        degree = warp_conflict_degree(indices.tolist(), entry_bytes=16)
+        assert degree >= 4
+
+
+class TestBankConflictModel:
+    def test_register_resident_entries_bypass_shared(self):
+        model = BankConflictModel(RTX4090, entry_bytes=8)
+        stream = np.zeros(32 * 64, dtype=np.int64)  # all index 0
+        # With index 0 register-resident, no shared access remains.
+        assert model.average_degree(stream, register_resident=1) == 0.0
+
+    def test_global_resident_entries_bypass_shared(self):
+        model = BankConflictModel(RTX4090, entry_bytes=8)
+        stream = np.full(32 * 16, 100, dtype=np.int64)
+        assert model.average_degree(stream, shared_resident=50) == 0.0
+
+    def test_degree_at_least_one_for_shared_accesses(self):
+        model = BankConflictModel(RTX4090, entry_bytes=8)
+        rng = np.random.default_rng(1)
+        stream = rng.integers(0, 256, size=32 * 128)
+        assert model.average_degree(stream) >= 1.0
+
+    def test_register_caching_hot_entries_reduces_degree(self):
+        # A Zipf-like stream: entry 0 is extremely hot and collides.
+        model = BankConflictModel(RTX4090, entry_bytes=8)
+        rng = np.random.default_rng(2)
+        zipf = np.minimum(rng.zipf(1.3, size=32 * 256) - 1, 255)
+        base = model.average_degree(zipf, register_resident=0)
+        cached = model.average_degree(zipf, register_resident=8)
+        assert cached <= base
+
+    def test_sampling_is_deterministic(self):
+        model = BankConflictModel(RTX4090, entry_bytes=8)
+        rng = np.random.default_rng(3)
+        stream = rng.integers(0, 256, size=32 * 5000)
+        a = model.average_degree(stream, max_warps=128)
+        b = model.average_degree(stream, max_warps=128)
+        assert a == b
+
+    def test_short_stream_single_partial_warp(self):
+        model = BankConflictModel(RTX4090, entry_bytes=4)
+        assert model.average_degree(np.array([1, 2, 3])) == 1.0
+
+    def test_empty_stream(self):
+        model = BankConflictModel(RTX4090, entry_bytes=8)
+        assert model.average_degree(np.array([], dtype=np.int64)) == 0.0
+
+    def test_rejects_bad_entry_bytes(self):
+        with pytest.raises(ValueError):
+            BankConflictModel(RTX4090, entry_bytes=-2)

@@ -1,0 +1,124 @@
+"""Cost-model tests: the latency arithmetic the experiments rest on."""
+
+import pytest
+
+from repro.gpu.costmodel import LAUNCH_OVERHEAD_S, CostModel
+from repro.gpu.counters import PerfCounters
+from repro.gpu.spec import A40, RTX4090
+
+
+def _streaming_counters(gb=1.0, threads=256, regs=32, smem=8192,
+                        blocks=4096):
+    return PerfCounters(
+        dram_bytes=gb * 1e9,
+        threads_per_block=threads,
+        regs_per_thread=regs,
+        smem_per_block=smem,
+        grid_blocks=blocks,
+    )
+
+
+class TestCostModel:
+    def test_memory_bound_latency_tracks_bandwidth(self):
+        model = CostModel(RTX4090)
+        lat = model.latency(_streaming_counters(gb=1.0))
+        ideal_s = 1e9 / RTX4090.dram_bytes_per_s
+        assert lat.total_s >= ideal_s
+        assert lat.total_s < 3 * ideal_s
+        assert lat.bound == "dram"
+
+    def test_lower_bandwidth_gpu_is_slower(self):
+        fast = CostModel(RTX4090).latency(_streaming_counters()).total_s
+        slow = CostModel(A40).latency(_streaming_counters()).total_s
+        assert slow > fast
+
+    def test_compute_bound_kernel(self):
+        c = _streaming_counters(gb=0.001)
+        c.flops = 1e12
+        lat = CostModel(RTX4090).latency(c)
+        assert lat.bound == "compute"
+        assert lat.compute_s >= 1e12 / RTX4090.peak_flops
+
+    def test_low_occupancy_degrades_bandwidth(self):
+        model = CostModel(RTX4090)
+        good = model.latency(_streaming_counters(smem=8192)).total_s
+        # One fat block per SM.
+        bad = model.latency(_streaming_counters(smem=96 * 1024)).total_s
+        assert bad > good
+
+    def test_launch_overhead_floor(self):
+        lat = CostModel(RTX4090).latency(_streaming_counters(gb=1e-6))
+        assert lat.total_s >= LAUNCH_OVERHEAD_S
+
+    def test_extra_launches_add_overhead(self):
+        model = CostModel(RTX4090)
+        one = _streaming_counters(gb=1e-6)
+        two = _streaming_counters(gb=1e-6)
+        two.kernel_launches = 2
+        assert (model.latency(two).total_s
+                == pytest.approx(model.latency(one).total_s
+                                 + LAUNCH_OVERHEAD_S))
+
+    def test_stall_cycles_add_latency(self):
+        model = CostModel(RTX4090)
+        base = _streaming_counters(gb=0.001)
+        stalled = _streaming_counters(gb=0.001)
+        stalled.stall_cycles = 1e9
+        assert (model.latency(stalled).compute_s
+                > model.latency(base).compute_s)
+        assert (model.latency(stalled).total_s
+                > model.latency(base).total_s)
+
+    def test_bank_conflicts_add_latency(self):
+        model = CostModel(RTX4090)
+        base = _streaming_counters(gb=0.001)
+        conflicted = _streaming_counters(gb=0.001)
+        conflicted.bank_conflict_transactions = 5e7
+        assert (model.latency(conflicted).total_s
+                > model.latency(base).total_s)
+
+    def test_unschedulable_block_does_not_crash(self):
+        c = _streaming_counters(smem=RTX4090.smem_per_block_max + 4096)
+        lat = CostModel(RTX4090).latency(c)
+        assert lat.total_s > 0
+        assert lat.occupancy <= 1.0 / RTX4090.max_warps_per_sm + 1e-9
+
+    def test_small_grid_limits_sm_utilization(self):
+        model = CostModel(RTX4090)
+        narrow = _streaming_counters(blocks=8)
+        wide = _streaming_counters(blocks=4096)
+        assert (model.latency(narrow).total_s
+                > model.latency(wide).total_s)
+
+    def test_reduction_bytes_count_as_dram(self):
+        model = CostModel(RTX4090)
+        base = _streaming_counters()
+        reduced = _streaming_counters()
+        reduced.reduction_bytes = 1e9
+        assert (model.latency(reduced).dram_s
+                > model.latency(base).dram_s)
+
+    def test_latency_us_helper(self):
+        model = CostModel(RTX4090)
+        c = _streaming_counters()
+        assert model.latency_us(c) == pytest.approx(
+            model.latency(_streaming_counters()).total_us)
+
+
+class TestEfficiencyCurves:
+    def test_bandwidth_efficiency_saturates(self):
+        model = CostModel(RTX4090)
+        assert model.bandwidth_efficiency(1.0, 1.0) > 0.9
+        assert model.bandwidth_efficiency(0.1, 1.0) < 0.7
+        assert model.bandwidth_efficiency(0.0, 1.0) >= 1e-3
+
+    def test_efficiency_monotone_in_occupancy(self):
+        model = CostModel(RTX4090)
+        values = [model.bandwidth_efficiency(o, 1.0)
+                  for o in (0.05, 0.1, 0.25, 0.5, 1.0)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_idle_sms_cut_bandwidth(self):
+        model = CostModel(RTX4090)
+        assert (model.bandwidth_efficiency(0.5, 0.25)
+                < model.bandwidth_efficiency(0.5, 1.0))

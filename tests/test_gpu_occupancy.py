@@ -1,0 +1,104 @@
+"""Occupancy calculator tests against hand-computed CUDA examples."""
+
+import pytest
+
+from repro.gpu.occupancy import (
+    Occupancy,
+    occupancy,
+    occupancy_curve_regs,
+    occupancy_curve_smem,
+)
+from repro.gpu.spec import A40, A100, RTX4090
+
+
+class TestOccupancyBasics:
+    def test_unconstrained_kernel_is_warp_limited(self):
+        occ = occupancy(RTX4090, 256, 16, 0)
+        # 48 warps / 8 warps per block = 6 blocks.
+        assert occ.blocks_per_sm == 6
+        assert occ.warps_per_sm == 48
+        assert occ.occupancy == 1.0
+
+    def test_register_limit(self):
+        # 128 regs * 32 lanes = 4096 per warp; 65536/4096 = 16 warps.
+        occ = occupancy(RTX4090, 256, 128, 0)
+        assert occ.warps_per_sm == 16
+        assert occ.limiter == "registers"
+
+    def test_register_allocation_granularity(self):
+        # 65 regs -> 2080/warp -> rounded to 2304; 65536/2304 = 28 warps
+        # -> 3 blocks of 8 warps.
+        occ = occupancy(RTX4090, 256, 65, 0)
+        assert occ.blocks_per_sm == 3
+
+    def test_shared_memory_limit(self):
+        occ = occupancy(RTX4090, 128, 32, 40 * 1024)
+        # 102400 // 40960 = 2 blocks.
+        assert occ.blocks_per_sm == 2
+        assert occ.limiter == "shared"
+
+    def test_oversized_smem_cannot_launch(self):
+        occ = occupancy(RTX4090, 128, 32, RTX4090.smem_per_block_max + 1)
+        assert occ.blocks_per_sm == 0
+        assert not occ.active
+
+    def test_block_limit(self):
+        occ = occupancy(RTX4090, 32, 16, 0)
+        # One warp per block: the 24-block cap binds before 48 warps.
+        assert occ.blocks_per_sm == RTX4090.max_blocks_per_sm
+        assert occ.limiter == "blocks"
+
+    def test_occupancy_fraction_matches_warps(self):
+        occ = occupancy(RTX4090, 256, 64, 16384)
+        assert occ.occupancy == pytest.approx(
+            occ.warps_per_sm / RTX4090.max_warps_per_sm)
+
+    def test_a100_has_more_warp_capacity(self):
+        ours = occupancy(RTX4090, 256, 32, 0)
+        theirs = occupancy(A100, 256, 32, 0)
+        assert theirs.warps_per_sm > ours.warps_per_sm
+
+    def test_a40_block_cap(self):
+        occ = occupancy(A40, 64, 16, 0)
+        assert occ.blocks_per_sm <= A40.max_blocks_per_sm
+
+
+class TestOccupancyValidation:
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            occupancy(RTX4090, 0, 32, 0)
+
+    def test_rejects_negative_smem(self):
+        with pytest.raises(ValueError):
+            occupancy(RTX4090, 128, 32, -1)
+
+    def test_rejects_excess_regs_per_thread(self):
+        with pytest.raises(ValueError):
+            occupancy(RTX4090, 128, 300, 0)
+
+
+class TestOccupancyCurves:
+    def test_smem_curve_is_monotone_nonincreasing(self):
+        curve = occupancy_curve_smem(RTX4090, 256, 32,
+                                     [0, 8192, 16384, 32768, 65536])
+        values = [v for _, v in curve]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_reg_curve_is_monotone_nonincreasing(self):
+        curve = occupancy_curve_regs(RTX4090, 256, 8192,
+                                     [16, 32, 64, 96, 128, 255])
+        values = [v for _, v in curve]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_curve_has_plateaus(self):
+        # Fig. 10's step structure: at least one adjacent pair equal.
+        curve = occupancy_curve_regs(RTX4090, 256, 0,
+                                     list(range(32, 129, 8)))
+        values = [v for _, v in curve]
+        assert any(a == b for a, b in zip(values, values[1:]))
+
+    def test_result_is_frozen_dataclass(self):
+        occ = occupancy(RTX4090, 128, 32, 0)
+        assert isinstance(occ, Occupancy)
+        with pytest.raises(AttributeError):
+            occ.blocks_per_sm = 5

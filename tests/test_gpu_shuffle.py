@@ -1,0 +1,70 @@
+"""Warp-shuffle model tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.shuffle import shfl_xor, shuffle_exchange
+
+
+class TestShflXor:
+    def test_offset_zero_is_identity(self):
+        values = np.arange(32)
+        assert np.array_equal(shfl_xor(values, 0), values)
+
+    def test_offset_one_swaps_pairs(self):
+        values = np.arange(32)
+        out = shfl_xor(values, 1)
+        assert out[0] == 1 and out[1] == 0
+        assert out[30] == 31 and out[31] == 30
+
+    def test_butterfly_is_involution(self):
+        values = np.random.default_rng(0).standard_normal(32)
+        assert np.array_equal(shfl_xor(shfl_xor(values, 5), 5), values)
+
+    def test_narrow_width(self):
+        values = np.arange(8)
+        out = shfl_xor(values, 4, width=8)
+        assert np.array_equal(out, np.arange(8) ^ 4)
+
+    def test_multidimensional_payload(self):
+        values = np.arange(64).reshape(32, 2)
+        out = shfl_xor(values, 2)
+        assert np.array_equal(out[0], values[2])
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            shfl_xor(np.arange(32), 1, width=33)
+        with pytest.raises(ValueError):
+            shfl_xor(np.arange(32), 1, width=12)
+
+    def test_rejects_out_of_range_offset(self):
+        with pytest.raises(ValueError):
+            shfl_xor(np.arange(32), 32)
+
+    def test_rejects_wrong_lane_count(self):
+        with pytest.raises(ValueError):
+            shfl_xor(np.arange(16), 1, width=32)
+
+
+class TestShuffleExchange:
+    def test_two_lane_exchange_transposes(self):
+        # Two lanes, two register slots; after offset-1 selective
+        # exchange lane l holds slot s = old[s][l].
+        reg = np.array([[0.0, 1.0], [2.0, 3.0]])
+        # Build a width-2 "warp".
+        out = shuffle_exchange(reg, offsets=[1],
+                               selector=lambda lane, off, n: (lane ^ off) % n)
+        assert out[0, 0] == 0.0 and out[0, 1] == 2.0
+        assert out[1, 0] == 1.0 and out[1, 1] == 3.0
+
+    def test_exchange_preserves_multiset(self):
+        rng = np.random.default_rng(1)
+        reg = rng.standard_normal((32, 4))
+        out = shuffle_exchange(reg, offsets=[1, 2, 3],
+                               selector=lambda lane, off, n:
+                               ((lane % n) ^ off) % n)
+        assert np.allclose(np.sort(reg.ravel()), np.sort(out.ravel()))
+
+    def test_no_offsets_is_identity(self):
+        reg = np.arange(64, dtype=float).reshape(32, 2)
+        assert np.array_equal(shuffle_exchange(reg, offsets=[]), reg)

@@ -1,0 +1,88 @@
+"""Element-wise quantization kernel tests (AWQ / QoQ baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.spec import RTX4090
+from repro.kernels.attention import AttentionShape, FlashDecodingKernel
+from repro.kernels.elementwise import (
+    ElementwiseAttentionKernel,
+    ElementwiseGemmKernel,
+    ElementwiseGemvKernel,
+)
+from repro.kernels.gemm import FP16GemmKernel, FP16GemvKernel, GemmShape
+from repro.llm.attention import attention_decode
+from repro.vq.elementwise import quantize_elementwise
+
+GEMV = GemmShape(m=16, n=4096, k=4096)
+GEMM = GemmShape(m=1024, n=4096, k=4096)
+ATTN = AttentionShape(batch=1, heads=32, seq_len=1024, head_dim=128)
+
+
+class TestElementwiseGemv:
+    def test_beats_fp16(self):
+        awq = ElementwiseGemvKernel(GEMV, bits=4).latency_us(RTX4090)
+        fp16 = FP16GemvKernel(GEMV).latency_us(RTX4090)
+        assert awq < fp16
+
+    def test_traffic_is_quarter_plus_scales(self):
+        c = ElementwiseGemvKernel(GEMV, bits=4).counters(RTX4090)
+        fp16 = FP16GemvKernel(GEMV).counters(RTX4090)
+        assert c.dram_bytes < fp16.dram_bytes * 0.45
+
+    def test_8bit_slower_than_4bit(self):
+        four = ElementwiseGemvKernel(GEMV, bits=4).latency_us(RTX4090)
+        eight = ElementwiseGemvKernel(GEMV, bits=8).latency_us(RTX4090)
+        assert four < eight
+
+    def test_numeric_execution(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((2, 128))
+        w = rng.standard_normal((128, 64))
+        q = quantize_elementwise(w, bits=8, group_size=64)
+        k = ElementwiseGemvKernel(GemmShape(2, 64, 128), bits=8,
+                                  a=a, quantized=q)
+        assert np.allclose(k.execute(), a @ q.dequantize(), atol=0.5)
+
+
+class TestElementwiseGemm:
+    def test_loses_to_cutlass_fp16(self):
+        # Fig. 16: quantized GEMM underperforms cutlass FP16 at prefill.
+        awq = ElementwiseGemmKernel(GEMM, bits=4).latency_us(RTX4090)
+        fp16 = FP16GemmKernel(GEMM).latency_us(RTX4090)
+        assert fp16 < awq
+
+    def test_dequant_work_counted(self):
+        c = ElementwiseGemmKernel(GEMM, bits=4).counters(RTX4090)
+        assert c.dequant_ops > 0
+        assert c.unpack_ops > 0
+
+
+class TestElementwiseAttention:
+    def test_beats_fp16(self):
+        qoq = ElementwiseAttentionKernel(ATTN, bits=4).latency_us(RTX4090)
+        fp16 = FlashDecodingKernel(ATTN).latency_us(RTX4090)
+        assert qoq < fp16
+
+    def test_scales_with_batch(self):
+        small = ElementwiseAttentionKernel(ATTN, bits=4).latency_us(RTX4090)
+        big_shape = AttentionShape(8, 32, 1024, 128)
+        big = ElementwiseAttentionKernel(big_shape,
+                                         bits=4).latency_us(RTX4090)
+        assert big > 2 * small
+
+    def test_numeric_execution(self):
+        rng = np.random.default_rng(1)
+        b, h, t, c = 1, 2, 16, 64
+        q = rng.standard_normal((b, h, c))
+        k = rng.standard_normal((b, h, t, c))
+        v = rng.standard_normal((b, h, t, c))
+        kq = quantize_elementwise(k.reshape(b * h * t, c), 8, 64)
+        vq = quantize_elementwise(v.reshape(b * h * t, c), 8, 64)
+        kernel = ElementwiseAttentionKernel(
+            AttentionShape(b, h, t, c), bits=8, q=q, k_quant=kq,
+            v_quant=vq)
+        out = kernel.execute()
+        ref = attention_decode(q, kq.dequantize().reshape(b, h, t, c),
+                               vq.dequantize().reshape(b, h, t, c))
+        assert np.allclose(out, ref)

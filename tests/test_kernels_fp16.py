@@ -1,0 +1,127 @@
+"""FP16 kernel model tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.costmodel import CostModel
+from repro.gpu.spec import RTX4090
+from repro.kernels.attention import (
+    AttentionShape,
+    FlashAttentionKernel,
+    FlashDecodingKernel,
+    FlashPrefillKernel,
+    PagedFlashAttentionKernel,
+    PagedFlashDecodingKernel,
+)
+from repro.kernels.gemm import (
+    FP16GemmKernel,
+    FP16GemvKernel,
+    GemmShape,
+    gemv_split_k,
+)
+from repro.llm.attention import attention_decode, attention_prefill
+
+
+class TestGemm:
+    def test_flops(self):
+        s = GemmShape(128, 256, 512)
+        assert s.flops == 2 * 128 * 256 * 512
+
+    def test_numeric_execution(self):
+        rng = np.random.default_rng(0)
+        a, w = rng.standard_normal((8, 16)), rng.standard_normal((16, 4))
+        k = FP16GemmKernel(GemmShape(8, 4, 16), a=a, w=w)
+        assert np.allclose(k.execute(), a @ w)
+
+    def test_large_gemm_is_compute_or_dram_bound(self):
+        k = FP16GemmKernel(GemmShape(4096, 4096, 4096))
+        lat = CostModel(RTX4090).latency(k.counters(RTX4090))
+        assert lat.bound in ("compute", "dram")
+
+    def test_latency_scales_with_size(self):
+        small = FP16GemmKernel(GemmShape(512, 512, 512)).latency_us(RTX4090)
+        big = FP16GemmKernel(GemmShape(2048, 2048, 2048)).latency_us(RTX4090)
+        assert big > 5 * small
+
+
+class TestGemv:
+    def test_memory_bound_on_weight(self):
+        shape = GemmShape(1, 4096, 4096)
+        k = FP16GemvKernel(shape)
+        c = k.counters(RTX4090)
+        # Weight bytes dominate DRAM traffic.
+        assert c.dram_bytes >= 4096 * 4096 * 2
+
+    def test_split_k_fills_gpu(self):
+        shape = GemmShape(1, 4096, 4096)
+        split = gemv_split_k(shape, RTX4090)
+        blocks = (4096 // 128) * split
+        assert blocks >= RTX4090.sm_count
+
+    def test_split_k_one_for_wide_outputs(self):
+        shape = GemmShape(1, 65536, 4096)
+        assert gemv_split_k(shape, RTX4090) == 1
+
+    def test_rejects_large_batch(self):
+        with pytest.raises(ValueError):
+            FP16GemvKernel(GemmShape(128, 4096, 4096))
+
+    def test_numeric_execution(self):
+        rng = np.random.default_rng(1)
+        a, w = rng.standard_normal((2, 32)), rng.standard_normal((32, 8))
+        k = FP16GemvKernel(GemmShape(2, 8, 32), a=a, w=w)
+        assert np.allclose(k.execute(), a @ w)
+
+
+class TestAttention:
+    SHAPE = AttentionShape(batch=1, heads=32, seq_len=1024, head_dim=128)
+
+    def test_kv_bytes(self):
+        assert self.SHAPE.kv_bytes == 2 * 32 * 1024 * 128 * 2
+
+    def test_flash_decoding_beats_flash_attention_small_batch(self):
+        fd = FlashDecodingKernel(self.SHAPE).latency_us(RTX4090)
+        fa = FlashAttentionKernel(self.SHAPE).latency_us(RTX4090)
+        assert fd < fa
+
+    def test_equal_at_large_batch(self):
+        shape = AttentionShape(batch=16, heads=32, seq_len=1024,
+                               head_dim=128)
+        fd = FlashDecodingKernel(shape).latency_us(RTX4090)
+        fa = FlashAttentionKernel(shape).latency_us(RTX4090)
+        # B*H = 512 blocks fill the GPU; token split gains nothing.
+        assert fd == pytest.approx(fa, rel=0.05)
+
+    def test_paged_variants_slightly_slower(self):
+        fd = FlashDecodingKernel(self.SHAPE).latency_us(RTX4090)
+        paged = PagedFlashDecodingKernel(self.SHAPE).latency_us(RTX4090)
+        assert fd < paged < fd * 1.3
+
+        fa = FlashAttentionKernel(self.SHAPE).latency_us(RTX4090)
+        paged_fa = PagedFlashAttentionKernel(self.SHAPE).latency_us(RTX4090)
+        assert fa < paged_fa < fa * 1.3
+
+    def test_latency_scales_with_sequence(self):
+        short = FlashDecodingKernel(self.SHAPE).latency_us(RTX4090)
+        long_shape = AttentionShape(1, 32, 8192, 128)
+        long = FlashDecodingKernel(long_shape).latency_us(RTX4090)
+        assert long > 3 * short
+
+    def test_numeric_execution_decode(self):
+        rng = np.random.default_rng(2)
+        q = rng.standard_normal((1, 2, 16))
+        k = rng.standard_normal((1, 2, 8, 16))
+        v = rng.standard_normal((1, 2, 8, 16))
+        kernel = FlashDecodingKernel(AttentionShape(1, 2, 8, 16),
+                                     q=q, k=k, v=v)
+        assert np.allclose(kernel.execute(), attention_decode(q, k, v))
+
+    def test_numeric_execution_prefill(self):
+        rng = np.random.default_rng(3)
+        q = rng.standard_normal((1, 2, 8, 16))
+        k = rng.standard_normal((1, 2, 8, 16))
+        v = rng.standard_normal((1, 2, 8, 16))
+        kernel = FlashPrefillKernel(AttentionShape(1, 2, 8, 16),
+                                    q=q, k=k, v=v)
+        assert np.allclose(kernel.execute(),
+                           attention_prefill(q, k, v, causal=True))

@@ -1,0 +1,77 @@
+"""Reference attention tests."""
+
+import numpy as np
+import pytest
+
+from repro.llm.attention import attention_decode, attention_prefill
+from repro.llm.layers import softmax
+
+
+def _qkv(b=2, h=3, t=5, c=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal((b, h, t, c)) for _ in range(3))
+
+
+class TestPrefill:
+    def test_output_shape(self):
+        q, k, v = _qkv()
+        assert attention_prefill(q, k, v).shape == q.shape
+
+    def test_causality(self):
+        q, k, v = _qkv(seed=1)
+        out1 = attention_prefill(q, k, v, causal=True)
+        # Changing a future token must not affect earlier outputs.
+        k2, v2 = k.copy(), v.copy()
+        k2[:, :, -1] += 100.0
+        v2[:, :, -1] += 100.0
+        out2 = attention_prefill(q, k2, v2, causal=True)
+        assert np.allclose(out1[:, :, :-1], out2[:, :, :-1])
+        assert not np.allclose(out1[:, :, -1], out2[:, :, -1])
+
+    def test_non_causal_attends_everywhere(self):
+        q, k, v = _qkv(seed=2)
+        out1 = attention_prefill(q, k, v, causal=False)
+        v2 = v.copy()
+        v2[:, :, -1] += 100.0
+        out2 = attention_prefill(q, k, v2, causal=False)
+        assert not np.allclose(out1[:, :, 0], out2[:, :, 0])
+
+    def test_matches_manual_computation(self):
+        q, k, v = _qkv(b=1, h=1, t=3, c=4, seed=3)
+        out = attention_prefill(q, k, v, causal=False)
+        scores = (q[0, 0] @ k[0, 0].T) / 2.0  # sqrt(4)
+        expected = softmax(scores, axis=-1) @ v[0, 0]
+        assert np.allclose(out[0, 0], expected)
+
+    def test_shape_mismatch_rejected(self):
+        q, k, v = _qkv()
+        with pytest.raises(ValueError):
+            attention_prefill(q, k[:, :, :-1], v)
+
+
+class TestDecode:
+    def test_output_shape(self):
+        q, k, v = _qkv()
+        out = attention_decode(q[:, :, 0], k, v)
+        assert out.shape == (2, 3, 8)
+
+    def test_matches_prefill_last_row(self):
+        # Decode of the last token equals the causal prefill's last row.
+        q, k, v = _qkv(seed=4)
+        prefill = attention_prefill(q, k, v, causal=True)
+        decode = attention_decode(q[:, :, -1], k, v)
+        assert np.allclose(decode, prefill[:, :, -1])
+
+    def test_uniform_scores_average_values(self):
+        b, h, t, c = 1, 1, 4, 8
+        q = np.zeros((b, h, c))
+        rng = np.random.default_rng(5)
+        k = rng.standard_normal((b, h, t, c))
+        v = rng.standard_normal((b, h, t, c))
+        out = attention_decode(q, k, v)
+        assert np.allclose(out[0, 0], v[0, 0].mean(axis=0))
+
+    def test_bad_rank_rejected(self):
+        q, k, v = _qkv()
+        with pytest.raises(ValueError):
+            attention_decode(q, k, v)  # q must be 3-D

@@ -1,0 +1,94 @@
+"""Transformer layer primitive tests."""
+
+import numpy as np
+import pytest
+
+from repro.llm.layers import (
+    apply_rope,
+    rms_norm,
+    rope_tables,
+    silu,
+    softmax,
+    swiglu,
+)
+
+
+class TestRMSNorm:
+    def test_unit_rms_output(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((4, 64)) * 5
+        out = rms_norm(x, np.ones(64))
+        rms = np.sqrt(np.mean(out * out, axis=-1))
+        assert np.allclose(rms, 1.0, atol=1e-3)
+
+    def test_weight_scales(self):
+        x = np.ones((2, 8))
+        out = rms_norm(x, 2.0 * np.ones(8))
+        assert np.allclose(out, 2.0, atol=1e-5)
+
+    def test_eps_guards_zero_input(self):
+        out = rms_norm(np.zeros((1, 8)), np.ones(8), eps=1e-5)
+        assert np.all(np.isfinite(out))
+
+
+class TestActivations:
+    def test_silu_known_values(self):
+        assert silu(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert silu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-3)
+        assert silu(np.array([-10.0]))[0] == pytest.approx(0.0, abs=1e-3)
+
+    def test_swiglu_composition(self):
+        gate = np.array([1.0, -1.0])
+        up = np.array([2.0, 2.0])
+        assert np.allclose(swiglu(gate, up), silu(gate) * up)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        rng = np.random.default_rng(1)
+        p = softmax(rng.standard_normal((3, 7)))
+        assert np.allclose(p.sum(axis=-1), 1.0)
+
+    def test_stable_for_large_inputs(self):
+        p = softmax(np.array([1e4, 1e4 + 1.0]))
+        assert np.all(np.isfinite(p))
+        assert p[1] > p[0]
+
+    def test_masked_minus_inf(self):
+        p = softmax(np.array([0.0, -np.inf]))
+        assert p[0] == pytest.approx(1.0)
+        assert p[1] == pytest.approx(0.0)
+
+
+class TestRoPE:
+    def test_rotation_preserves_norm(self):
+        cos, sin = rope_tables(32, 16)
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((1, 8, 16))
+        rotated = apply_rope(x, np.arange(8), cos, sin)
+        assert np.allclose(np.linalg.norm(rotated, axis=-1),
+                           np.linalg.norm(x, axis=-1))
+
+    def test_position_zero_is_identity(self):
+        cos, sin = rope_tables(4, 8)
+        x = np.random.default_rng(3).standard_normal((1, 1, 8))
+        out = apply_rope(x, np.array([0]), cos, sin)
+        assert np.allclose(out, x)
+
+    def test_relative_property(self):
+        # Dot products depend only on relative positions.
+        cos, sin = rope_tables(64, 16)
+        rng = np.random.default_rng(4)
+        q = rng.standard_normal(16)
+        k = rng.standard_normal(16)
+
+        def dot_at(pq, pk):
+            rq = apply_rope(q[None, None], np.array([pq]), cos, sin)
+            rk = apply_rope(k[None, None], np.array([pk]), cos, sin)
+            return float(np.sum(rq * rk))
+
+        assert dot_at(3, 5) == pytest.approx(dot_at(13, 15), rel=1e-9)
+
+    def test_odd_head_dim_rejected(self):
+        with pytest.raises(ValueError):
+            rope_tables(8, 7)

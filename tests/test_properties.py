@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataflow import optimal_split_factor
+from repro.core.fusion import exchange_to_compute_layout, n_shuffles
+from repro.gpu.occupancy import occupancy
+from repro.gpu.shuffle import shfl_xor
+from repro.gpu.spec import RTX4090
+from repro.vq.config import VQConfig
+from repro.vq.packing import pack_indices, unpack_indices
+from repro.vq.quantizer import VectorQuantizer
+
+
+class TestPackingProperties:
+    @given(
+        bits=st.integers(min_value=1, max_value=16),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pack_unpack_roundtrip(self, bits, data):
+        n = data.draw(st.integers(min_value=0, max_value=200))
+        values = data.draw(st.lists(
+            st.integers(min_value=0, max_value=(1 << bits) - 1),
+            min_size=n, max_size=n))
+        indices = np.array(values, dtype=np.int64)
+        packed = pack_indices(indices, bits)
+        assert np.array_equal(unpack_indices(packed, bits, n), indices)
+
+    @given(bits=st.integers(min_value=1, max_value=16),
+           n=st.integers(min_value=1, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_packed_size_is_minimal(self, bits, n):
+        indices = np.zeros(n, dtype=np.int64)
+        packed = pack_indices(indices, bits)
+        assert packed.size == (n * bits + 7) // 8
+
+
+class TestShuffleProperties:
+    @given(offset=st.integers(min_value=0, max_value=31),
+           seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_shfl_xor_is_involution(self, offset, seed):
+        values = np.random.default_rng(seed).standard_normal(32)
+        twice = shfl_xor(shfl_xor(values, offset), offset)
+        assert np.array_equal(twice, values)
+
+    @given(offset=st.integers(min_value=0, max_value=31))
+    @settings(max_examples=32, deadline=None)
+    def test_shfl_xor_is_permutation(self, offset):
+        values = np.arange(32)
+        out = shfl_xor(values, offset)
+        assert sorted(out.tolist()) == list(range(32))
+
+
+class TestExchangeProperties:
+    @given(log_ratio=st.integers(min_value=0, max_value=3),
+           req=st.sampled_from([1, 2, 4]),
+           seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_exchange_is_value_preserving_permutation(self, log_ratio,
+                                                      req, seed):
+        vector = (1 << log_ratio) * req
+        warp = np.random.default_rng(seed).standard_normal((32, vector))
+        out = exchange_to_compute_layout(warp, req)
+        assert np.allclose(np.sort(warp.ravel()), np.sort(out.ravel()))
+
+    @given(log_v=st.integers(min_value=0, max_value=4),
+           log_req=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_n_shuffles_consistent_with_ratio(self, log_v, log_req):
+        v, req = 1 << log_v, 1 << log_req
+        shuffles = n_shuffles(v, req)
+        if v <= req:
+            assert shuffles == 0
+        else:
+            assert shuffles == v // req - 1
+
+
+class TestOccupancyProperties:
+    @given(threads=st.sampled_from([32, 64, 128, 256, 512]),
+           regs=st.integers(min_value=1, max_value=255),
+           smem=st.integers(min_value=0, max_value=101376))
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_bounded(self, threads, regs, smem):
+        occ = occupancy(RTX4090, threads, regs, smem)
+        assert 0 <= occ.blocks_per_sm <= RTX4090.max_blocks_per_sm
+        assert 0.0 <= occ.occupancy <= 1.0
+
+    @given(threads=st.sampled_from([64, 128, 256]),
+           regs=st.integers(min_value=16, max_value=128),
+           smem=st.integers(min_value=0, max_value=50000),
+           extra=st.integers(min_value=0, max_value=50000))
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_monotone_in_smem(self, threads, regs, smem, extra):
+        base = occupancy(RTX4090, threads, regs, smem)
+        more = occupancy(RTX4090, threads, regs, smem + extra)
+        assert more.blocks_per_sm <= base.blocks_per_sm
+
+
+class TestSplitFactorProperties:
+    @given(codebook=st.floats(min_value=1.0, max_value=1e12),
+           output=st.floats(min_value=1.0, max_value=1e12),
+           max_split=st.integers(min_value=1, max_value=256))
+    @settings(max_examples=80, deadline=None)
+    def test_split_in_range_and_near_optimal(self, codebook, output,
+                                             max_split):
+        s = optimal_split_factor(codebook, output, max_split)
+        assert 1 <= s <= max_split
+
+        def objective(x):
+            return codebook / x + x * output
+
+        # The chosen integer split is no worse than its neighbours.
+        if s > 1:
+            assert objective(s) <= objective(s - 1) * (1 + 1e-9) \
+                or s == max_split
+        if s < max_split:
+            assert objective(s) <= objective(s + 1) * (1 + 1e-9) or s == 1
+
+
+class TestQuantizerProperties:
+    @given(
+        vector=st.sampled_from([2, 4]),
+        bits=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_roundtrip_error_bounded_by_data_energy(self, vector, bits,
+                                                    seed):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((48, 16))
+        cfg = VQConfig("p", vector_size=vector, index_bits=bits,
+                       residuals=1)
+        qt = VectorQuantizer(cfg, seed=seed, kmeans_iters=4).quantize(data)
+        # Quantizing to the nearest centroid can never exceed the
+        # data's own energy (centroid 0 trivially achieves variance).
+        assert qt.reconstruction_error(data) <= np.mean(data * data) * 1.01
+
+    @given(bits=st.integers(min_value=2, max_value=5),
+           seed=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=10, deadline=None)
+    def test_codes_always_in_range(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((32, 8))
+        cfg = VQConfig("p", vector_size=4, index_bits=bits, residuals=2)
+        qt = VectorQuantizer(cfg, seed=seed, kmeans_iters=3).quantize(data)
+        assert qt.codes.min() >= 0
+        assert qt.codes.max() < (1 << bits)
+
+    @given(seed=st.integers(min_value=0, max_value=15))
+    @settings(max_examples=8, deadline=None)
+    def test_remap_invariant_under_random_permutation(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((32, 16))
+        cfg = VQConfig("p", vector_size=4, index_bits=4, residuals=1)
+        qt = VectorQuantizer(cfg, seed=seed, kmeans_iters=3).quantize(data)
+        perm = rng.permutation(16)
+        assert np.allclose(qt.remap(perm).dequantize(), qt.dequantize())

@@ -1,0 +1,91 @@
+"""Element-wise quantization baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.vq.elementwise import (
+    awq_quantize_weight,
+    dequantize_elementwise,
+    qoq_quantize_kv,
+    quantize_elementwise,
+)
+
+
+class TestQuantizeElementwise:
+    def test_roundtrip_error_bounded_by_step(self, weight):
+        q = quantize_elementwise(weight, bits=8, group_size=64)
+        err = np.abs(q.dequantize() - weight)
+        # Error bounded by one quantization step per group.
+        steps = np.repeat(q.scales[:, :, 0], 64, axis=1)
+        assert np.all(err <= steps + 1e-9)
+
+    def test_more_bits_less_error(self, weight):
+        e4 = np.mean((quantize_elementwise(weight, 4).dequantize()
+                      - weight) ** 2)
+        e8 = np.mean((quantize_elementwise(weight, 8).dequantize()
+                      - weight) ** 2)
+        assert e8 < e4
+
+    def test_codes_in_range(self, weight):
+        q = quantize_elementwise(weight, bits=4, group_size=64)
+        assert q.codes.min() >= 0
+        assert q.codes.max() <= 15
+
+    def test_smaller_groups_less_error(self, weight):
+        coarse = quantize_elementwise(weight, 4, group_size=256)
+        fine = quantize_elementwise(weight, 4, group_size=32)
+        assert (np.mean((fine.dequantize() - weight) ** 2)
+                < np.mean((coarse.dequantize() - weight) ** 2))
+
+    def test_storage_accounting(self, weight):
+        q = quantize_elementwise(weight, bits=4, group_size=64)
+        n = weight.size
+        assert q.quantized_bytes == pytest.approx(
+            n * 0.5 + (n / 64) * 4)
+
+    def test_constant_group_handled(self):
+        data = np.ones((4, 64))
+        q = quantize_elementwise(data, bits=4, group_size=64)
+        assert np.allclose(q.dequantize(), data, atol=1e-6)
+
+    def test_validation(self, weight):
+        with pytest.raises(ValueError):
+            quantize_elementwise(weight, bits=1)
+        with pytest.raises(ValueError):
+            quantize_elementwise(weight, bits=4, group_size=100)
+        with pytest.raises(ValueError):
+            quantize_elementwise(np.zeros(16), bits=4)
+
+    def test_dequantize_function_matches_method(self, weight):
+        q = quantize_elementwise(weight, bits=4, group_size=64)
+        assert np.allclose(dequantize_elementwise(q), q.dequantize())
+
+
+class TestAWQ:
+    def test_awq_beats_plain_quantization(self, weight):
+        plain = quantize_elementwise(weight, bits=4, group_size=64)
+        awq = awq_quantize_weight(weight, bits=4, group_size=64)
+        plain_err = np.mean((plain.dequantize() - weight) ** 2)
+        awq_err = np.mean((awq.dequantize() - weight) ** 2)
+        assert awq_err <= plain_err * 1.01
+
+    def test_awq_storage_includes_col_scales(self, weight):
+        awq = awq_quantize_weight(weight, bits=4, group_size=64)
+        plain = quantize_elementwise(weight, bits=4, group_size=64)
+        assert awq.quantized_bytes > plain.quantized_bytes
+
+    def test_awq_shape(self, weight):
+        awq = awq_quantize_weight(weight, bits=4, group_size=64)
+        assert awq.dequantize().shape == weight.shape
+
+
+class TestQoQ:
+    def test_qoq_roundtrip(self, kv_data):
+        q = qoq_quantize_kv(kv_data, bits=4, group_size=64)
+        rel = (np.mean((q.dequantize() - kv_data) ** 2)
+               / np.var(kv_data))
+        assert rel < 0.1
+
+    def test_qoq_bits(self, kv_data):
+        q = qoq_quantize_kv(kv_data, bits=4)
+        assert q.bits == 4

@@ -1,0 +1,77 @@
+"""K-means tests."""
+
+import numpy as np
+import pytest
+
+from repro.vq.kmeans import kmeans
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self):
+        rng = np.random.default_rng(0)
+        centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]])
+        data = np.concatenate([
+            c + 0.1 * rng.standard_normal((100, 2)) for c in centers])
+        result = kmeans(data, 3, seed=1)
+        found = result.centroids[np.argsort(result.centroids[:, 0])]
+        expected = centers[np.argsort(centers[:, 0])]
+        assert np.allclose(found, expected, atol=0.5)
+
+    def test_assignments_are_nearest(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((500, 4))
+        result = kmeans(data, 16, seed=0)
+        d = np.linalg.norm(data[:, None] - result.centroids[None], axis=2)
+        assert np.array_equal(result.assignments, np.argmin(d, axis=1))
+
+    def test_inertia_decreases_with_more_clusters(self):
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((1000, 4))
+        i4 = kmeans(data, 4, seed=0).inertia
+        i64 = kmeans(data, 64, seed=0).inertia
+        assert i64 < i4
+
+    def test_k_geq_n_returns_points(self):
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((10, 4))
+        result = kmeans(data, 16, seed=0)
+        assert result.centroids.shape == (16, 4)
+        # Every point is its own centroid: zero inertia.
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(4)
+        data = rng.standard_normal((400, 4))
+        a = kmeans(data, 8, seed=5)
+        b = kmeans(data, 8, seed=5)
+        assert np.array_equal(a.centroids, b.centroids)
+        assert np.array_equal(a.assignments, b.assignments)
+
+    def test_subsampled_training_still_assigns_all(self):
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal((5000, 4))
+        result = kmeans(data, 16, seed=0, sample=1000)
+        assert result.assignments.shape == (5000,)
+        assert result.assignments.max() < 16
+
+    def test_no_empty_clusters_on_degenerate_data(self):
+        # Many duplicated points force empty-cluster repair.
+        data = np.repeat(np.eye(4), 50, axis=0)
+        result = kmeans(data, 8, seed=0)
+        counts = np.bincount(result.assignments, minlength=8)
+        # All points assigned; centroids finite.
+        assert counts.sum() == 200
+        assert np.all(np.isfinite(result.centroids))
+
+    def test_rejects_empty_and_bad_k(self):
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 4)), 4)
+        with pytest.raises(ValueError):
+            kmeans(np.ones((10, 4)), 0)
+        with pytest.raises(ValueError):
+            kmeans(np.ones(10), 2)
+
+    def test_inertia_nonnegative(self):
+        rng = np.random.default_rng(6)
+        data = rng.standard_normal((300, 8))
+        assert kmeans(data, 32, seed=0).inertia >= 0.0

@@ -1,0 +1,79 @@
+"""Bit-packing tests, including AQLM's misaligned 12-bit format."""
+
+import numpy as np
+import pytest
+
+from repro.vq.packing import (
+    is_aligned,
+    pack_indices,
+    unpack_cost_ops,
+    unpack_indices,
+)
+
+
+class TestPacking:
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8, 12, 16])
+    def test_roundtrip(self, bits):
+        rng = np.random.default_rng(bits)
+        indices = rng.integers(0, 1 << bits, size=1000)
+        packed = pack_indices(indices, bits)
+        assert np.array_equal(unpack_indices(packed, bits, 1000), indices)
+
+    def test_packed_size_8bit(self):
+        packed = pack_indices(np.arange(16), 8)
+        assert packed.size == 16
+
+    def test_packed_size_12bit(self):
+        packed = pack_indices(np.arange(16), 12)
+        assert packed.size == 24  # 16 * 12 / 8
+
+    def test_packed_size_sub_byte(self):
+        packed = pack_indices(np.zeros(10, dtype=int), 2)
+        assert packed.size == 3  # ceil(20 / 8)
+
+    def test_empty(self):
+        packed = pack_indices(np.array([], dtype=int), 12)
+        assert packed.size == 0
+        assert unpack_indices(packed, 12, 0).size == 0
+
+    def test_value_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            pack_indices(np.array([256]), 8)
+
+    def test_bad_widths_rejected(self):
+        with pytest.raises(ValueError):
+            pack_indices(np.array([0]), 0)
+        with pytest.raises(ValueError):
+            pack_indices(np.array([0]), 17)
+        with pytest.raises(ValueError):
+            unpack_indices(np.zeros(4, dtype=np.uint8), 0, 1)
+
+    def test_short_stream_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_indices(np.zeros(1, dtype=np.uint8), 12, 10)
+
+    def test_multidimensional_input_flattens(self):
+        indices = np.arange(24).reshape(4, 6)
+        packed = pack_indices(indices, 8)
+        assert np.array_equal(unpack_indices(packed, 8, 24),
+                              indices.ravel())
+
+
+class TestAlignment:
+    def test_aligned_widths(self):
+        assert all(is_aligned(b) for b in (1, 2, 4, 8, 16))
+
+    def test_misaligned_widths(self):
+        assert not any(is_aligned(b) for b in (3, 5, 6, 7, 12, 15))
+
+    def test_unpack_cost_aligned_is_one(self):
+        assert unpack_cost_ops(8) == 1
+        assert unpack_cost_ops(16) == 1
+
+    def test_unpack_cost_misaligned_is_higher(self):
+        # AQLM's 12-bit format costs extra decode work.
+        assert unpack_cost_ops(12) > unpack_cost_ops(8)
+
+    def test_unpack_cost_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            unpack_cost_ops(0)
