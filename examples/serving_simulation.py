@@ -1,0 +1,57 @@
+"""Continuous-batching serving: FP16 vs VQ KV caches at equal memory.
+
+Simulates an open-loop Poisson request stream against Llama-7B on an
+RTX 4090 with a fixed HBM allowance for the KV cache.  The FP16 cache
+saturates that allowance at ~15 concurrent sequences and queues; the
+CQ-compressed caches (25% / 12.5% of FP16 bytes per token) admit the
+full batch cap, sustain higher request throughput, and cut time to
+first token by keeping the admission queue short.
+
+Run with::
+
+    PYTHONPATH=src python examples/serving_simulation.py
+"""
+
+from repro.bench.serving import serving_comparison, simulate_mode
+from repro.core.engine import ComputeEngine
+from repro.gpu.spec import RTX4090
+from repro.llm.config import llama_7b
+
+#: Shared workload: 64 requests at 16 req/s offered, ~384-token prompts,
+#: ~96-token outputs, 4 GB of HBM reserved for the KV cache.
+WORKLOAD = dict(kv_hbm_gb=4.0, rate_rps=16.0, n_requests=64,
+                prompt_mean=384, output_mean=96, seed=0)
+
+
+def main():
+    spec, config = RTX4090, llama_7b()
+    engine = ComputeEngine(spec)
+
+    print(f"{config.name} on {spec.name}, "
+          f"{WORKLOAD['kv_hbm_gb']:.0f} GB KV budget, "
+          f"{WORKLOAD['rate_rps']:.0f} req/s offered\n")
+
+    reports = {}
+    for mode in ("fp16", "kv-cq-4", "kv-cq-2"):
+        rep = simulate_mode(mode, spec=spec, config=config, engine=engine,
+                            **WORKLOAD)
+        reports[mode] = rep
+        print(rep.summary())
+        print()
+
+    fp16 = reports["fp16"]
+    best = max((r for m, r in reports.items() if m != "fp16"),
+               key=lambda r: r.throughput_rps)
+    gain = best.throughput_rps / fp16.throughput_rps
+    print(f"VQ KV cache ({best.name}) sustains {gain:.2f}x the FP16 "
+          f"request throughput at equal HBM, with TTFT p50 "
+          f"{fp16.ttft_s(50) / best.ttft_s(50):.1f}x lower.")
+    assert gain > 1.0, "VQ KV cache should out-serve FP16 at equal memory"
+
+    print("\nFull comparison table (same engine, shared latency memo):")
+    print(serving_comparison(spec=spec, config=config, engine=engine,
+                             **WORKLOAD))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,9 +1,57 @@
-"""Shim for environments without the ``wheel`` package.
+"""Package metadata for the VQ-LLM reproduction.
 
-``pip install -e . --no-use-pep517`` uses this legacy path; all project
-metadata lives in pyproject.toml.
+Source layout: the ``repro`` package lives under ``src/``; install
+editable (``pip install -e .``) or set ``PYTHONPATH=src`` to run from
+the tree.  The ``bench`` extra pulls in everything the test and
+benchmark suites use.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+HERE = Path(__file__).parent
+
+README = (HERE / "README.md").read_text(encoding="utf-8")
+
+VERSION = re.search(
+    r'^__version__ = "([^"]+)"',
+    (HERE / "src" / "repro" / "__init__.py").read_text(encoding="utf-8"),
+    re.MULTILINE,
+).group(1)
+
+setup(
+    name="repro-vqllm",
+    version=VERSION,
+    description=("Reproduction of VQ-LLM (HPCA 2025) on an analytic GPU "
+                 "model, with a continuous-batching serving simulator"),
+    long_description=README,
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.24",
+    ],
+    extras_require={
+        "bench": [
+            "pytest>=7",
+            "pytest-benchmark>=4",
+            "hypothesis>=6",
+            "ruff>=0.4",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -17,7 +17,13 @@ package reproduces it on an analytic GPU model:
   codebook-centric dataflow and hierarchical fusion, adaptive
   heuristics, and the kernel code generator;
 - :mod:`repro.bench` — the experiment harness regenerating every table
-  and figure of the paper's evaluation.
+  and figure of the paper's evaluation;
+- :mod:`repro.serve` — a continuous-batching serving simulator that
+  drives the analytic stack at the request level (arrivals, KV-cache
+  admission control, throughput/TTFT/TPOT/latency percentiles).
+
+See ``README.md`` for a guided tour and ``docs/architecture.md`` for
+the data-flow picture.
 
 Quickstart::
 

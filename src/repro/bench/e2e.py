@@ -19,18 +19,14 @@ which lands them at the paper's ~10% (FP16) / ~20% (4-bit) share.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.bench.workloads import attention_sample, weight_sample
-from repro.core.codegen import VQLLMCodeGenerator
+from repro.core.engine import ComputeEngine
 from repro.gpu.costmodel import LAUNCH_OVERHEAD_S
 from repro.gpu.spec import GPUSpec
-from repro.kernels.attention import AttentionShape, FlashDecodingKernel
-from repro.kernels.elementwise import (
-    ElementwiseAttentionKernel,
-    ElementwiseGemvKernel,
-)
-from repro.kernels.gemm import FP16GemvKernel, GemmShape
+from repro.kernels.attention import AttentionShape
+from repro.kernels.gemm import GemmShape
 from repro.llm.config import LlamaConfig
 from repro.llm.model import decode_operator_shapes
 
@@ -62,30 +58,38 @@ class DecodeStepBreakdown:
 
 
 class E2ELedger:
-    """Costs decode steps for one (GPU, model) pair."""
+    """Costs decode steps for one (GPU, model) pair.
 
-    def __init__(self, spec: GPUSpec, config: LlamaConfig):
+    Kernel latencies go through the engine's memoized
+    :meth:`~repro.core.engine.ComputeEngine.batch_latency_us`, so
+    repeated decode steps at the same (batch, seq_len) — the common case
+    when integrating over a generation or stepping a serving simulation
+    — cost one dict lookup after the first evaluation.
+    """
+
+    def __init__(self, spec: GPUSpec, config: LlamaConfig,
+                 engine: Optional[ComputeEngine] = None):
         self.spec = spec
         self.config = config
-        self.generator = VQLLMCodeGenerator(spec)
+        self.engine = engine or ComputeEngine(spec)
+        self._step_memo: Dict[tuple, DecodeStepBreakdown] = {}
 
     def _gemv_us(self, shape: GemmShape, mode: str) -> float:
         if mode == "fp16":
-            return FP16GemvKernel(shape).latency_us(self.spec)
+            return self.engine.batch_latency_us("gemv", shape)
         if mode == "qserve":
-            return ElementwiseGemvKernel(shape, bits=4).latency_us(self.spec)
+            return self.engine.batch_latency_us("gemv", shape, bits=4)
         qt = weight_sample(_VQ_WEIGHT_ALGO[mode])
-        return self.generator.generate_gemv(shape, qt, level="O4").latency_us()
+        return self.engine.batch_latency_us("gemv", shape, qt=qt, level="O4")
 
     def _attention_us(self, shape: AttentionShape, mode: str) -> float:
         if mode == "fp16":
-            return FlashDecodingKernel(shape).latency_us(self.spec)
+            return self.engine.batch_latency_us("attention", shape)
         if mode == "qserve":
-            return ElementwiseAttentionKernel(shape,
-                                              bits=4).latency_us(self.spec)
+            return self.engine.batch_latency_us("attention", shape, bits=4)
         qt_k, qt_v = attention_sample(_VQ_KV_ALGO[mode])
-        return self.generator.generate_attention(
-            shape, qt_k, qt_v, level="O4").latency_us()
+        return self.engine.batch_latency_us("attention", shape, qt=qt_k,
+                                            qt_v=qt_v, level="O4")
 
     def _elementwise_us(self, elements: int, quantized: bool) -> float:
         # Bandwidth-bound read+write pass at FP16, plus launch overheads.
@@ -97,9 +101,12 @@ class E2ELedger:
 
     def decode_step(self, batch: int, seq_len: int,
                     mode: str) -> DecodeStepBreakdown:
-        """Latency breakdown of one decode step."""
+        """Latency breakdown of one decode step (memoized)."""
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}; expected {MODES}")
+        key = (batch, seq_len, mode)
+        if key in self._step_memo:
+            return self._step_memo[key]
         gemv_us = attn_us = ew_us = 0.0
         for op in decode_operator_shapes(self.config, batch, seq_len):
             if op.kind == "gemv":
@@ -115,7 +122,9 @@ class E2ELedger:
             else:
                 ew_us += self._elementwise_us(op.elements,
                                               mode != "fp16") * op.count
-        return DecodeStepBreakdown(gemv_us, attn_us, ew_us)
+        breakdown = DecodeStepBreakdown(gemv_us, attn_us, ew_us)
+        self._step_memo[key] = breakdown
+        return breakdown
 
     def generation_us(self, batch: int, prompt_len: int, gen_tokens: int,
                       mode: str, samples: int = 4) -> float:

@@ -1,0 +1,158 @@
+"""Serving-level experiment: FP16 vs quantized KV caches at equal HBM.
+
+This wires the kernel-level reproduction into :mod:`repro.serve`: the
+same serving modes as the E2E ledger (:data:`repro.bench.e2e.MODES`)
+are simulated under continuous batching with a *fixed* HBM allowance
+for the KV cache.  Compression changes two things at once:
+
+- decode kernels get cheaper (fused VQ attention reads fewer bytes);
+- bytes-per-token shrinks, so admission control packs 4-8x more
+  concurrent sequences into the same memory.
+
+The second effect dominates at high offered load — FP16 saturates its
+KV budget and queues, while the VQ modes keep admitting — which is the
+system-level argument for VQ caches that per-kernel latency sweeps
+cannot show.
+
+Two mode families are supported:
+
+- the full-stack E2E modes (``fp16`` / ``qserve`` / ``vq4`` / ``vq2``),
+  which also quantize weights.  Note that VQ *weights* slow down the
+  compute-bound prefill GEMMs (dequantization adds scalar work that the
+  tensor cores cannot hide there), so full-stack throughput mixes two
+  opposing effects;
+- KV-only modes (``kv-cq-4`` / ``kv-cq-2``: FP16 weights, CQ-compressed
+  cache), which isolate exactly the cache-compression effect the
+  serving comparison is about and are the default.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bench.e2e import _VQ_KV_ALGO, _VQ_WEIGHT_ALGO, MODES
+from repro.bench.harness import ExperimentResult
+from repro.bench.workloads import attention_sample, weight_sample
+from repro.core.engine import ComputeEngine
+from repro.gpu.spec import GPUSpec, RTX4090
+from repro.llm.config import LlamaConfig, llama_7b
+from repro.serve.costs import StepCostModel
+from repro.serve.requests import LengthSampler, poisson_trace
+from repro.serve.scheduler import ContinuousBatchScheduler, KVBudget
+from repro.serve.simulator import ServingReport, ServingSimulator
+from repro.vq.algorithms import make_config
+
+
+#: KV-only serving modes: FP16 weights, CQ-compressed KV cache.
+KV_ONLY_MODES = {"kv-cq-4": "cq-4", "kv-cq-2": "cq-2"}
+
+#: All serving modes this experiment understands.
+SERVING_MODES = tuple(MODES) + tuple(KV_ONLY_MODES)
+
+
+def make_kv_budget(config: LlamaConfig, mode: str,
+                   capacity_bytes: float) -> KVBudget:
+    """KV budget for one serving mode at a fixed HBM allowance."""
+    if mode == "fp16":
+        return KVBudget.for_model(config, capacity_bytes)
+    if mode == "qserve":
+        return KVBudget.for_model(config, capacity_bytes, bits=4)
+    if mode in KV_ONLY_MODES:
+        return KVBudget.for_model(config, capacity_bytes,
+                                  vq=make_config(KV_ONLY_MODES[mode]))
+    return KVBudget.for_model(config, capacity_bytes,
+                              vq=make_config(_VQ_KV_ALGO[mode]))
+
+
+def make_cost_model(engine: ComputeEngine, config: LlamaConfig, mode: str,
+                    seq_bucket: int = 512) -> StepCostModel:
+    """Step cost model for one serving mode, using the sample tensors."""
+    if mode not in SERVING_MODES:
+        raise ValueError(f"unknown mode {mode!r}; "
+                         f"expected one of {SERVING_MODES}")
+    if mode == "fp16":
+        return StepCostModel(engine, config, seq_bucket=seq_bucket)
+    if mode == "qserve":
+        return StepCostModel(engine, config, weight_bits=4, kv_bits=4,
+                             seq_bucket=seq_bucket)
+    if mode in KV_ONLY_MODES:
+        return StepCostModel(
+            engine, config,
+            kv_qt=attention_sample(KV_ONLY_MODES[mode]),
+            seq_bucket=seq_bucket,
+        )
+    return StepCostModel(
+        engine, config,
+        weight_qt=weight_sample(_VQ_WEIGHT_ALGO[mode]),
+        kv_qt=attention_sample(_VQ_KV_ALGO[mode]),
+        seq_bucket=seq_bucket,
+    )
+
+
+def simulate_mode(
+    mode: str,
+    spec: GPUSpec = RTX4090,
+    config: Optional[LlamaConfig] = None,
+    kv_hbm_gb: float = 4.0,
+    rate_rps: float = 16.0,
+    n_requests: int = 64,
+    prompt_mean: int = 384,
+    output_mean: int = 96,
+    token_budget: int = 2048,
+    max_seqs: int = 64,
+    seed: int = 0,
+    engine: Optional[ComputeEngine] = None,
+) -> ServingReport:
+    """Simulate one serving mode on a Poisson trace."""
+    config = config or llama_7b()
+    engine = engine or ComputeEngine(spec)
+    trace = poisson_trace(
+        rate_rps, n_requests,
+        prompt=LengthSampler(mean=prompt_mean, cv=0.5, hi=4 * prompt_mean),
+        output=LengthSampler(mean=output_mean, cv=0.5, hi=4 * output_mean),
+        seed=seed,
+    )
+    budget = make_kv_budget(config, mode, kv_hbm_gb * 1e9)
+    scheduler = ContinuousBatchScheduler(budget, token_budget=token_budget,
+                                         max_seqs=max_seqs)
+    cost_model = make_cost_model(engine, config, mode)
+    return ServingSimulator(scheduler, cost_model, name=mode).run(trace)
+
+
+def serving_comparison(
+    spec: GPUSpec = RTX4090,
+    config: Optional[LlamaConfig] = None,
+    modes: Sequence[str] = ("fp16", "kv-cq-4", "kv-cq-2"),
+    engine: Optional[ComputeEngine] = None,
+    **kwargs,
+) -> ExperimentResult:
+    """Compare serving modes at an equal KV-cache HBM budget.
+
+    Extra keyword arguments go to :func:`simulate_mode`; every mode
+    shares one engine (and thus one latency memo) and the same trace.
+    """
+    config = config or llama_7b()
+    engine = engine or ComputeEngine(spec)
+    result = ExperimentResult(
+        experiment_id="serving",
+        title=f"Continuous-batching serving on {spec.name} "
+              f"({config.name}, equal KV HBM budget)",
+        columns=("mode", "req/s", "tok/s", "ttft_p50_ms", "tpot_p50_ms",
+                 "latency_p99_s", "peak_seqs"),
+    )
+    reports = {}
+    for mode in modes:
+        rep = simulate_mode(mode, spec=spec, config=config, engine=engine,
+                            **kwargs)
+        reports[mode] = rep
+        result.add_row(mode, rep.throughput_rps, rep.output_tokens_per_s,
+                       rep.ttft_s(50) * 1e3, rep.tpot_s(50) * 1e3,
+                       rep.latency_s(99), rep.peak_seqs)
+    if "fp16" in reports:
+        base = reports["fp16"].throughput_rps
+        for mode, rep in reports.items():
+            if mode != "fp16":
+                result.notes.append(
+                    f"{mode} sustains {rep.throughput_rps / base:.2f}x "
+                    f"the FP16 request throughput at equal KV memory")
+    return result

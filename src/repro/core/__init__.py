@@ -17,7 +17,12 @@
   for a (VQ config, computation, GPU) triple.
 - :mod:`repro.core.emitter` — CUDA-like source rendering of a plan.
 - :mod:`repro.core.engine` — executes generated kernels (numerics +
-  modelled counters/latency).
+  modelled counters/latency) and exposes the memoized batch-latency
+  API that :mod:`repro.serve` and :mod:`repro.bench` step on.
+
+``docs/architecture.md`` narrates the full
+VQConfig -> quantizer -> codegen -> cost model -> engine -> serve flow
+and defines the Tbl. IV optimization levels.
 """
 
 from repro.core.cache import CacheBoundaries, CodebookCache

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.cache import CacheBoundaries
 from repro.core.emitter import emit_cuda
-from repro.core.heuristics import LEVELS, PlanKnobs, choose_knobs
+from repro.core.heuristics import LEVELS, choose_knobs
 from repro.core.hotness import HotnessProfile, profile_hotness
 from repro.core.slack import find_slack
 from repro.core.template import BASE_RESOURCES, KernelTemplate, build_template

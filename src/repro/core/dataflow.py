@@ -22,8 +22,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
-
 from repro.vq.config import VQConfig
 
 #: Tbl. III — axes of each computation, per VQ algorithm family.

@@ -41,7 +41,6 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.dataflow import optimal_split_factor
 from repro.core.fusion import decide_fusion
 from repro.core.heuristics import PlanKnobs
 from repro.core.template import BASE_RESOURCES
@@ -50,7 +49,7 @@ from repro.gpu.banks import BankConflictModel
 from repro.gpu.counters import PerfCounters
 from repro.gpu.memory import l1_hit_rate
 from repro.gpu.spec import GPUSpec
-from repro.kernels.attention import ATTN_THREADS, BLOCK_TOKENS, AttentionShape
+from repro.kernels.attention import BLOCK_TOKENS, AttentionShape
 from repro.kernels.base import FP16, FP32, KernelBase
 from repro.kernels.gemm import GEMM_TILE, GEMV_TILE, GemmShape, gemv_split_k
 from repro.llm.attention import attention_decode

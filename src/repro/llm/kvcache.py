@@ -11,8 +11,6 @@ dequantize on the fly, which is what the fused attention kernels model.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.vq.codebook import CodebookSet

@@ -1,0 +1,68 @@
+"""Continuous-batching serving simulator over the analytic stack.
+
+The paper's evaluation stops at kernels and single-stream E2E latency;
+this package extends the reproduction to the *serving* level — the
+regime where VQ's KV-cache compression changes system behavior, because
+a smaller cache admits more concurrent sequences at the same HBM
+budget:
+
+- :mod:`repro.serve.requests` — request traces (Poisson, bursty MMPP,
+  replay) with heavy-tailed prompt/output length distributions;
+- :mod:`repro.serve.scheduler` — iteration-level continuous batching
+  with chunked prefill and no-eviction KV-memory admission control,
+  where the bytes-per-token comes from the
+  :class:`~repro.vq.config.VQConfig` compression ratio;
+- :mod:`repro.serve.costs` — prices one scheduler iteration through the
+  memoized :meth:`~repro.core.engine.ComputeEngine.batch_latency_us`;
+- :mod:`repro.serve.simulator` — the discrete-event loop and the
+  :class:`~repro.serve.simulator.ServingReport` metrics (throughput,
+  TTFT, TPOT, latency percentiles).
+
+See ``docs/architecture.md`` for the full data-flow picture and
+:mod:`repro.bench.serving` / ``examples/serving_simulation.py`` for
+ready-made FP16-vs-VQ comparisons.
+"""
+
+from repro.serve.costs import StepCostModel
+from repro.serve.requests import (
+    LengthSampler,
+    Request,
+    bursty_trace,
+    poisson_trace,
+    replayed_trace,
+    trace_stats,
+)
+from repro.serve.scheduler import (
+    BatchPlan,
+    ContinuousBatchScheduler,
+    KVBudget,
+    SequenceState,
+    kv_bytes_per_token,
+    kv_codebook_bytes,
+)
+from repro.serve.simulator import (
+    RequestRecord,
+    ServingReport,
+    ServingSimulator,
+    percentile,
+)
+
+__all__ = [
+    "BatchPlan",
+    "ContinuousBatchScheduler",
+    "KVBudget",
+    "LengthSampler",
+    "Request",
+    "RequestRecord",
+    "SequenceState",
+    "ServingReport",
+    "ServingSimulator",
+    "StepCostModel",
+    "bursty_trace",
+    "kv_bytes_per_token",
+    "kv_codebook_bytes",
+    "percentile",
+    "poisson_trace",
+    "replayed_trace",
+    "trace_stats",
+]

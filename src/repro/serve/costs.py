@@ -1,0 +1,225 @@
+"""Iteration cost model for the serving simulator.
+
+:class:`StepCostModel` prices one scheduler iteration
+(:class:`~repro.serve.scheduler.BatchPlan`) in microseconds using the
+same kernel models as the per-kernel experiments:
+
+- decode tokens are costed as one decode step of
+  :func:`repro.llm.model.decode_operator_shapes` at the batch size and
+  (bucketed) mean context length, through the engine's memoized
+  :meth:`~repro.core.engine.ComputeEngine.batch_latency_us`;
+- prefill chunks are costed as GEMMs over the chunk's tokens plus FP16
+  causal flash-prefill attention (prefill *writes* the cache; VQ
+  encoding of new tokens is the < 1 us/token online step the paper
+  measures as negligible);
+- element-wise operators (norms, RoPE, activations) as bandwidth-bound
+  passes, as in :mod:`repro.bench.e2e`.
+
+Batch sizes and context lengths are bucketed (rounded up to a small
+geometric grid) before keying the engine cache, so a simulation of
+thousands of iterations evaluates only a few dozen distinct kernels —
+everything else is a cache hit.  Bucketing rounds *up*, making the
+model slightly conservative rather than optimistic.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional, Sequence, Tuple
+
+from repro.core.engine import ComputeEngine
+from repro.gpu.costmodel import LAUNCH_OVERHEAD_S
+from repro.kernels.attention import AttentionShape
+from repro.kernels.gemm import GemmShape
+from repro.llm.config import LlamaConfig
+from repro.llm.model import decode_operator_shapes
+from repro.vq.quantizer import QuantizedTensor
+
+from repro.serve.scheduler import BatchPlan
+
+#: Default batch-size buckets (rounded up; extended by doubling).
+BATCH_BUCKETS = (1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128)
+
+#: Kernel launches per layer of the element-wise operators (as in
+#: :mod:`repro.bench.e2e`).
+ELEMENTWISE_LAUNCHES = 8
+
+
+def bucket_up(value: int, buckets: Sequence[int]) -> int:
+    """Round ``value`` up to the nearest bucket, doubling past the end."""
+    if value <= 0:
+        raise ValueError("value must be positive")
+    i = bisect.bisect_left(buckets, value)
+    if i < len(buckets):
+        return buckets[i]
+    b = buckets[-1]
+    while b < value:
+        b *= 2
+    return b
+
+
+class StepCostModel:
+    """Prices scheduler iterations for one (GPU, model, mode) triple.
+
+    Quantized operands are passed in directly (the bench layer maps
+    serving-mode names to sample tensors, see
+    :func:`repro.bench.serving.make_cost_model`):
+
+    - ``weight_qt`` / ``weight_bits`` — fused-VQ or element-wise
+      quantized weights (both ``None`` means FP16 weights);
+    - ``kv_qt`` (a (K, V) pair) / ``kv_bits`` — the KV-cache scheme
+      used by decode attention;
+    - the LM head always stays FP16, as in the paper's E2E setup.
+    """
+
+    def __init__(
+        self,
+        engine: ComputeEngine,
+        config: LlamaConfig,
+        weight_qt: Optional[QuantizedTensor] = None,
+        weight_bits: Optional[int] = None,
+        kv_qt: Optional[Tuple[QuantizedTensor, QuantizedTensor]] = None,
+        kv_bits: Optional[int] = None,
+        level: str = "O4",
+        seq_bucket: int = 256,
+        batch_buckets: Sequence[int] = BATCH_BUCKETS,
+    ):
+        if weight_qt is not None and weight_bits is not None:
+            raise ValueError("weight_qt and weight_bits are exclusive")
+        if kv_qt is not None and kv_bits is not None:
+            raise ValueError("kv_qt and kv_bits are exclusive")
+        if seq_bucket < 1:
+            raise ValueError("seq_bucket must be >= 1")
+        self.engine = engine
+        self.config = config
+        self.weight_qt = weight_qt
+        self.weight_bits = weight_bits
+        self.kv_qt = kv_qt
+        self.kv_bits = kv_bits
+        self.level = level
+        self.seq_bucket = seq_bucket
+        self.batch_buckets = tuple(sorted(batch_buckets))
+
+    # -- bucketing -----------------------------------------------------
+    def _bucket_batch(self, batch: int) -> int:
+        return bucket_up(batch, self.batch_buckets)
+
+    def _bucket_seq(self, tokens: float) -> int:
+        b = self.seq_bucket
+        return max(b, int(-(-int(max(1.0, tokens)) // b) * b))
+
+    # -- operator pricing ----------------------------------------------
+    def _gemv_us(self, shape: GemmShape, fp16: bool = False) -> float:
+        if fp16 or (self.weight_qt is None and self.weight_bits is None):
+            return self.engine.batch_latency_us("gemv", shape)
+        if self.weight_bits is not None:
+            return self.engine.batch_latency_us("gemv", shape,
+                                                bits=self.weight_bits)
+        return self.engine.batch_latency_us("gemv", shape,
+                                            qt=self.weight_qt,
+                                            level=self.level)
+
+    def _gemm_us(self, shape: GemmShape, fp16: bool = False) -> float:
+        if fp16 or (self.weight_qt is None and self.weight_bits is None):
+            return self.engine.batch_latency_us("gemm", shape)
+        if self.weight_bits is not None:
+            return self.engine.batch_latency_us("gemm", shape,
+                                                bits=self.weight_bits)
+        return self.engine.batch_latency_us("gemm", shape,
+                                            qt=self.weight_qt,
+                                            level=self.level)
+
+    def _attention_us(self, shape: AttentionShape) -> float:
+        if self.kv_qt is not None:
+            qt_k, qt_v = self.kv_qt
+            return self.engine.batch_latency_us("attention", shape,
+                                                qt=qt_k, qt_v=qt_v,
+                                                level=self.level)
+        if self.kv_bits is not None:
+            return self.engine.batch_latency_us("attention", shape,
+                                                bits=self.kv_bits)
+        return self.engine.batch_latency_us("attention", shape)
+
+    def _elementwise_us(self, elements: int) -> float:
+        """Bandwidth-bound read+write pass plus launch overheads."""
+        bytes_moved = elements * 2 * 2
+        bw = self.engine.spec.dram_bytes_per_s * 0.75
+        quantized = not (self.weight_qt is None and self.weight_bits is None)
+        extra = 1.3 if quantized else 1.0
+        return (bytes_moved * extra / bw
+                + ELEMENTWISE_LAUNCHES * LAUNCH_OVERHEAD_S) * 1e6
+
+    # -- iteration pricing ---------------------------------------------
+    def decode_step_us(self, batch: int, context_tokens: float) -> float:
+        """One decode iteration: ``batch`` sequences, mean context."""
+        if batch < 1:
+            return 0.0
+        b = self._bucket_batch(batch)
+        s = self._bucket_seq(context_tokens)
+        total = 0.0
+        for op in decode_operator_shapes(self.config, b, s):
+            if op.kind == "gemv":
+                shape = GemmShape(m=op.m, n=op.n, k=op.k)
+                total += self._gemv_us(
+                    shape, fp16=op.name == "lm_head") * op.count
+            elif op.kind == "attention":
+                shape = AttentionShape(batch=op.batch, heads=op.heads,
+                                       seq_len=op.seq_len,
+                                       head_dim=op.head_dim)
+                total += self._attention_us(shape) * op.count
+            else:
+                total += self._elementwise_us(op.elements) * op.count
+        return total
+
+    def _prefill_attn_cum_us(self, tokens: float) -> float:
+        """Cumulative causal-attention cost of prefilling ``tokens``.
+
+        FP16 flash-prefill over the (bucketed) first ``tokens`` of the
+        prompt; 0 for an empty prefix.  Chunk costs are differences of
+        this cumulative curve, so they telescope: however a prompt is
+        chunked, the attention charges sum to the whole-prompt cost.
+        """
+        if tokens < 1:
+            return 0.0
+        cfg = self.config
+        shape = AttentionShape(batch=1, heads=cfg.n_heads,
+                               seq_len=self._bucket_seq(tokens),
+                               head_dim=cfg.head_dim)
+        return self.engine.batch_latency_us("prefill_attention", shape)
+
+    def prefill_us(self, new_tokens: int,
+                   context_tokens: float = 0.0) -> float:
+        """One prefill chunk of ``new_tokens`` prompt tokens.
+
+        Projections and MLP run as GEMMs over the chunk; attention is
+        charged *incrementally* — the cumulative causal cost through
+        ``context + new`` tokens minus the part already billed to
+        earlier chunks — so chunked and unchunked prefill of the same
+        prompt cost the same (the chunk's queries are new, the cached
+        keys were paid for when their own chunk ran).  The LM head is
+        not applied during prefill — the first sampled token is costed
+        with the iteration that completes the prompt.
+        """
+        if new_tokens < 1:
+            return 0.0
+        cfg = self.config
+        t = self._bucket_seq(new_tokens)
+        h, inter = cfg.hidden, cfg.intermediate
+        gemm_us = 0.0
+        for n, k in ((3 * h, h), (h, h), (2 * inter, h), (h, inter)):
+            gemm_us += self._gemm_us(GemmShape(m=t, n=n, k=k))
+        attn_us = (self._prefill_attn_cum_us(context_tokens + new_tokens)
+                   - self._prefill_attn_cum_us(context_tokens))
+        attn_us = max(0.0, attn_us)
+        ew_us = self._elementwise_us(t * (4 * h + 2 * inter))
+        return (gemm_us + attn_us + ew_us) * cfg.n_layers
+
+    def step_us(self, plan: BatchPlan) -> float:
+        """Price one scheduler iteration (prefill chunks + decodes)."""
+        total = 0.0
+        if plan.decode:
+            total += self.decode_step_us(plan.decode_batch,
+                                         plan.mean_context())
+        for seq, chunk in plan.prefill:
+            total += self.prefill_us(chunk, seq.prefilled)
+        return total

@@ -1,0 +1,200 @@
+"""Request traces for the serving simulator.
+
+A trace is a list of :class:`Request` objects sorted by arrival time.
+Three arrival processes are provided:
+
+- :func:`poisson_trace` — memoryless arrivals at a constant offered
+  rate, the standard open-loop serving benchmark;
+- :func:`bursty_trace` — a two-state Markov-modulated Poisson process
+  alternating between a calm and a burst rate, which is what production
+  traffic looks like at minute granularity;
+- :func:`replayed_trace` — explicit timestamps and lengths, for
+  replaying measured production traces.
+
+Prompt and output lengths come from a clipped lognormal
+(:class:`LengthSampler`): LLM serving length distributions are
+heavy-tailed — most prompts are short, a few are near the context
+limit — and the tail is what stresses KV-cache capacity.
+
+Everything is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Request:
+    """One serving request: arrive, prefill the prompt, decode tokens."""
+
+    req_id: int
+    #: Arrival time, seconds since trace start.
+    arrival_s: float
+    #: Prompt length in tokens (prefill work).
+    prompt_tokens: int
+    #: Number of tokens to generate (decode work).
+    output_tokens: int
+
+    def __post_init__(self):
+        if self.prompt_tokens < 1:
+            raise ValueError("prompt_tokens must be >= 1")
+        if self.output_tokens < 1:
+            raise ValueError("output_tokens must be >= 1")
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be >= 0")
+
+    @property
+    def total_tokens(self) -> int:
+        """Tokens the request will hold in the KV cache at completion."""
+        return self.prompt_tokens + self.output_tokens
+
+
+@dataclass(frozen=True)
+class LengthSampler:
+    """Clipped-lognormal token-length distribution.
+
+    ``mean`` is the approximate mean of the *unclipped* distribution;
+    ``cv`` its coefficient of variation (sigma/mean).  Samples are
+    rounded to integers and clipped to ``[lo, hi]``.
+    """
+
+    mean: float
+    cv: float = 0.5
+    lo: int = 1
+    hi: int = 8192
+
+    def __post_init__(self):
+        if self.mean <= 0:
+            raise ValueError("mean must be positive")
+        if self.cv < 0:
+            raise ValueError("cv must be >= 0")
+        if not 1 <= self.lo <= self.hi:
+            raise ValueError("need 1 <= lo <= hi")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` integer lengths."""
+        if self.cv == 0:
+            raw = np.full(n, self.mean)
+        else:
+            # Lognormal parameterised to hit the requested mean and cv.
+            sigma2 = math.log(1.0 + self.cv ** 2)
+            mu = math.log(self.mean) - sigma2 / 2
+            raw = rng.lognormal(mean=mu, sigma=math.sqrt(sigma2), size=n)
+        return np.clip(np.rint(raw), self.lo, self.hi).astype(int)
+
+
+def _build(arrivals: Sequence[float], prompts: Sequence[int],
+           outputs: Sequence[int]) -> List[Request]:
+    order = np.argsort(arrivals, kind="stable")
+    return [
+        Request(req_id=i, arrival_s=float(arrivals[j]),
+                prompt_tokens=int(prompts[j]), output_tokens=int(outputs[j]))
+        for i, j in enumerate(order)
+    ]
+
+
+def poisson_trace(
+    rate_rps: float,
+    n_requests: int,
+    prompt: LengthSampler = LengthSampler(mean=512),
+    output: LengthSampler = LengthSampler(mean=128),
+    seed: int = 0,
+) -> List[Request]:
+    """Open-loop Poisson arrivals at ``rate_rps`` requests per second."""
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_rps, size=n_requests)
+    arrivals = np.cumsum(gaps) - gaps[0]  # first arrival at t=0
+    return _build(arrivals, prompt.sample(rng, n_requests),
+                  output.sample(rng, n_requests))
+
+
+def bursty_trace(
+    rate_rps: float,
+    n_requests: int,
+    burst_factor: float = 4.0,
+    burst_fraction: float = 0.2,
+    mean_phase_s: float = 10.0,
+    prompt: LengthSampler = LengthSampler(mean=512),
+    output: LengthSampler = LengthSampler(mean=128),
+    seed: int = 0,
+) -> List[Request]:
+    """Two-state MMPP arrivals averaging roughly ``rate_rps``.
+
+    The process alternates exponentially-distributed calm and burst
+    phases; bursts last ``burst_fraction`` of the time on average and
+    run at ``burst_factor`` times the calm rate, with the calm rate set
+    so the long-run average matches ``rate_rps``.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if burst_factor < 1:
+        raise ValueError("burst_factor must be >= 1")
+    if not 0 < burst_fraction < 1:
+        raise ValueError("burst_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    calm_rate = rate_rps / (1 + burst_fraction * (burst_factor - 1))
+    rates = (calm_rate, calm_rate * burst_factor)
+    phase_means = (mean_phase_s * (1 - burst_fraction),
+                   mean_phase_s * burst_fraction)
+    arrivals = []
+    t = 0.0
+    state = 0
+    while len(arrivals) < n_requests:
+        phase_end = t + rng.exponential(phase_means[state])
+        while len(arrivals) < n_requests:
+            t += rng.exponential(1.0 / rates[state])
+            if t > phase_end:
+                t = phase_end
+                break
+            arrivals.append(t)
+        state = 1 - state
+    arrivals = np.asarray(arrivals) - arrivals[0]
+    return _build(arrivals, prompt.sample(rng, n_requests),
+                  output.sample(rng, n_requests))
+
+
+def replayed_trace(
+    arrivals_s: Sequence[float],
+    prompt_tokens: Sequence[int],
+    output_tokens: Sequence[int],
+    time_scale: float = 1.0,
+) -> List[Request]:
+    """Build a trace from measured timestamps and lengths.
+
+    ``time_scale`` stretches (> 1) or compresses (< 1) the replay, which
+    is how load sweeps over a fixed production trace are done.
+    """
+    if not (len(arrivals_s) == len(prompt_tokens) == len(output_tokens)):
+        raise ValueError("arrivals, prompts and outputs must align")
+    if len(arrivals_s) == 0:
+        raise ValueError("empty trace")
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    base = min(arrivals_s)
+    arrivals = [(a - base) * time_scale for a in arrivals_s]
+    return _build(arrivals, list(prompt_tokens), list(output_tokens))
+
+
+def trace_stats(trace: List[Request]) -> dict:
+    """Summary statistics of a trace (for logging and docs)."""
+    arrivals = np.array([r.arrival_s for r in trace])
+    span = float(arrivals[-1] - arrivals[0]) if len(trace) > 1 else 0.0
+    return {
+        "n_requests": len(trace),
+        "duration_s": span,
+        "offered_rps": len(trace) / span if span > 0 else float("inf"),
+        "mean_prompt_tokens": float(np.mean([r.prompt_tokens
+                                             for r in trace])),
+        "mean_output_tokens": float(np.mean([r.output_tokens
+                                             for r in trace])),
+        "total_tokens": int(sum(r.total_tokens for r in trace)),
+    }

@@ -1,0 +1,287 @@
+"""Continuous-batching scheduler with KV-cache memory accounting.
+
+The scheduler implements the iteration-level (Orca-style) continuous
+batching loop used by modern LLM serving engines:
+
+- every iteration, all running sequences in the *decode* phase
+  contribute one token each;
+- leftover token budget goes to *prefill*, chunked so a long prompt
+  never starves decodes (chunked prefill);
+- a request is admitted only when its worst-case KV-cache footprint
+  (prompt + maximum output tokens) fits in the HBM budget, so there is
+  never a mid-generation eviction.
+
+KV memory is where VQ earns its keep at the serving level: the budget's
+bytes-per-token comes from :func:`kv_bytes_per_token`, which scales the
+FP16 footprint of :attr:`repro.llm.config.LlamaConfig.kv_bytes_per_token`
+by a :class:`~repro.vq.config.VQConfig` compression ratio (e.g. CQ-2
+stores 12.5% of FP16), minus a one-off resident-codebook overhead
+(:func:`kv_codebook_bytes`).  At an equal HBM budget a VQ cache
+therefore admits ~4-8x more concurrent sequences, which is what the
+simulator turns into sustained-throughput numbers.
+
+See ``docs/architecture.md`` for how the scheduler plugs into the
+simulator and cost model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from repro.llm.config import LlamaConfig
+from repro.vq.config import VQConfig
+
+from repro.serve.requests import Request
+
+
+def kv_bytes_per_token(config: LlamaConfig,
+                       vq: Optional[VQConfig] = None,
+                       bits: Optional[int] = None) -> float:
+    """KV-cache bytes one token occupies across all layers.
+
+    ``vq`` scales the FP16 footprint by the codes-only compression ratio
+    (codebooks are accounted separately — they are shared across tokens,
+    see :func:`kv_codebook_bytes`).  ``bits`` models an element-wise
+    quantized cache (e.g. qServe's INT4) at ``bits/16`` of FP16.
+    """
+    if vq is not None and bits is not None:
+        raise ValueError("vq and bits are mutually exclusive")
+    fp16 = float(config.kv_bytes_per_token)
+    if vq is not None:
+        return fp16 * vq.compression_ratio
+    if bits is not None:
+        if not 1 <= bits <= 16:
+            raise ValueError("bits must be in [1, 16]")
+        return fp16 * bits / 16.0
+    return fp16
+
+
+def kv_codebook_bytes(config: LlamaConfig, vq: VQConfig) -> float:
+    """Resident codebook storage for a VQ KV cache (both K and V).
+
+    CQ trains one codebook per channel group (``hidden / vector_size``
+    groups) per residual level, independently for keys and values in
+    every layer.  This is a fixed overhead, shared by all sequences.
+    """
+    groups = config.hidden // vq.vector_size
+    per_side = groups * vq.residuals * vq.codebook_bytes
+    return float(2 * per_side * config.n_layers)
+
+
+@dataclass
+class KVBudget:
+    """An HBM allowance for KV-cache storage.
+
+    ``capacity_bytes`` is the pool available to the cache (model
+    weights, activations and fragmentation margin already subtracted);
+    ``overhead_bytes`` (resident codebooks) is taken off the top.
+    """
+
+    capacity_bytes: float
+    bytes_per_token: float
+    overhead_bytes: float = 0.0
+
+    def __post_init__(self):
+        if self.bytes_per_token <= 0:
+            raise ValueError("bytes_per_token must be positive")
+        if self.capacity_bytes <= self.overhead_bytes:
+            raise ValueError("capacity does not even fit the overhead")
+
+    @classmethod
+    def for_model(cls, config: LlamaConfig, capacity_bytes: float,
+                  vq: Optional[VQConfig] = None,
+                  bits: Optional[int] = None) -> "KVBudget":
+        """Budget for one model under FP16, VQ or element-wise caching."""
+        overhead = kv_codebook_bytes(config, vq) if vq is not None else 0.0
+        return cls(capacity_bytes=capacity_bytes,
+                   bytes_per_token=kv_bytes_per_token(config, vq, bits),
+                   overhead_bytes=overhead)
+
+    @property
+    def max_tokens(self) -> int:
+        """Maximum tokens resident at once under this budget."""
+        return int((self.capacity_bytes - self.overhead_bytes)
+                   // self.bytes_per_token)
+
+
+@dataclass
+class SequenceState:
+    """Scheduler-side state of one admitted request."""
+
+    request: Request
+    #: Prompt tokens already prefilled.
+    prefilled: int = 0
+    #: Output tokens generated so far.
+    generated: int = 0
+    #: Simulation time of admission, first output token, completion.
+    admitted_s: float = 0.0
+    first_token_s: Optional[float] = None
+    finished_s: Optional[float] = None
+
+    @property
+    def prefill_remaining(self) -> int:
+        return self.request.prompt_tokens - self.prefilled
+
+    @property
+    def in_decode(self) -> bool:
+        """Prefill complete and still generating."""
+        return self.prefill_remaining == 0 and not self.finished
+
+    @property
+    def finished(self) -> bool:
+        return self.generated >= self.request.output_tokens
+
+    @property
+    def context_tokens(self) -> int:
+        """Tokens currently in this sequence's KV cache."""
+        return self.prefilled + self.generated
+
+    @property
+    def reserved_tokens(self) -> int:
+        """Worst-case KV tokens reserved for this sequence."""
+        return self.request.total_tokens
+
+
+@dataclass
+class BatchPlan:
+    """One iteration's work: prefill chunks plus decode sequences."""
+
+    prefill: List[Tuple[SequenceState, int]] = field(default_factory=list)
+    decode: List[SequenceState] = field(default_factory=list)
+
+    @property
+    def prefill_tokens(self) -> int:
+        return sum(chunk for _, chunk in self.prefill)
+
+    @property
+    def decode_batch(self) -> int:
+        return len(self.decode)
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prefill_tokens + self.decode_batch
+
+    @property
+    def empty(self) -> bool:
+        return not self.prefill and not self.decode
+
+    def mean_context(self) -> float:
+        """Mean decode context length (tokens already in cache)."""
+        if not self.decode:
+            return 0.0
+        return sum(s.context_tokens for s in self.decode) / len(self.decode)
+
+
+class ContinuousBatchScheduler:
+    """Iteration-level scheduler over a KV budget and a token budget.
+
+    Parameters
+    ----------
+    budget:
+        The KV-cache memory allowance; admission reserves each request's
+        worst-case footprint against it.
+    token_budget:
+        Maximum tokens processed per iteration (decode tokens + prefill
+        chunk), the knob vLLM calls ``max_num_batched_tokens``.
+    max_seqs:
+        Maximum concurrently admitted sequences (attention batch cap).
+    """
+
+    def __init__(self, budget: KVBudget, token_budget: int = 2048,
+                 max_seqs: int = 64):
+        if token_budget < 1:
+            raise ValueError("token_budget must be >= 1")
+        if max_seqs < 1:
+            raise ValueError("max_seqs must be >= 1")
+        self.budget = budget
+        self.token_budget = token_budget
+        self.max_seqs = max_seqs
+        self.waiting: Deque[Request] = deque()
+        self.running: List[SequenceState] = []
+        self.reserved_tokens = 0
+        #: High-water marks, for reporting.
+        self.peak_seqs = 0
+        self.peak_reserved_tokens = 0
+
+    # -- queue management ----------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Enqueue an arrived request (FCFS)."""
+        if request.total_tokens > self.budget.max_tokens:
+            raise ValueError(
+                f"request {request.req_id} needs {request.total_tokens} "
+                f"KV tokens but the budget holds {self.budget.max_tokens}")
+        self.waiting.append(request)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.waiting or self.running)
+
+    @property
+    def kv_utilization(self) -> float:
+        """Fraction of the KV budget currently reserved."""
+        return self.reserved_tokens / max(1, self.budget.max_tokens)
+
+    def _admit(self, now_s: float) -> None:
+        """Move waiting requests to running while memory and seats last.
+
+        Admission is FCFS without holes: skipping ahead of a large
+        request would starve it (head-of-line blocking is the fair
+        price of no-eviction reservations).
+        """
+        while self.waiting and len(self.running) < self.max_seqs:
+            nxt = self.waiting[0]
+            if (self.reserved_tokens + nxt.total_tokens
+                    > self.budget.max_tokens):
+                break
+            self.waiting.popleft()
+            self.running.append(SequenceState(request=nxt, admitted_s=now_s))
+            self.reserved_tokens += nxt.total_tokens
+        self.peak_seqs = max(self.peak_seqs, len(self.running))
+        self.peak_reserved_tokens = max(self.peak_reserved_tokens,
+                                        self.reserved_tokens)
+
+    # -- iteration planning --------------------------------------------
+    def schedule(self, now_s: float = 0.0) -> BatchPlan:
+        """Plan one iteration: decodes first, then chunked prefill."""
+        self._admit(now_s)
+        plan = BatchPlan()
+        budget = self.token_budget
+        for seq in self.running:
+            if seq.in_decode and budget > 0:
+                plan.decode.append(seq)
+                budget -= 1
+        for seq in self.running:
+            if budget <= 0:
+                break
+            if seq.prefill_remaining > 0:
+                chunk = min(seq.prefill_remaining, budget)
+                plan.prefill.append((seq, chunk))
+                budget -= chunk
+        return plan
+
+    def complete(self, plan: BatchPlan, now_s: float) -> List[SequenceState]:
+        """Apply one executed iteration; return sequences that finished.
+
+        A sequence whose prefill completes emits its first output token
+        in the same iteration (the last prefill chunk's logits feed the
+        sampler), which is when TTFT stops ticking.
+        """
+        finished: List[SequenceState] = []
+        for seq, chunk in plan.prefill:
+            seq.prefilled += chunk
+            if seq.prefill_remaining == 0:
+                seq.generated += 1
+                seq.first_token_s = now_s
+        for seq in plan.decode:
+            seq.generated += 1
+            if seq.first_token_s is None:
+                seq.first_token_s = now_s
+        for seq in list(self.running):
+            if seq.finished:
+                seq.finished_s = now_s
+                self.running.remove(seq)
+                self.reserved_tokens -= seq.reserved_tokens
+                finished.append(seq)
+        return finished

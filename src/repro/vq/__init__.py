@@ -6,6 +6,10 @@ the five published algorithm configurations of Tbl. II (QuiP#-4, AQLM-3,
 GPTVQ-2, CQ-4, CQ-2) with their codebook *scoping* rules (which part of a
 tensor shares which codebook), and the element-wise quantization
 baselines (AWQ-like weight INT4, QoQ-like KV INT4) used in Fig. 16/17.
+
+This is the entry of the data flow documented in
+``docs/architecture.md``: VQConfig -> quantizer -> codegen -> cost
+model -> engine -> serve.
 """
 
 from repro.vq.algorithms import ALGORITHMS, make_config, make_quantizer

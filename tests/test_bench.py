@@ -1,6 +1,5 @@
 """Harness, workload and E2E-ledger tests."""
 
-import numpy as np
 import pytest
 
 from repro.bench.accuracy import (
@@ -114,3 +113,36 @@ class TestE2ELedger:
     def test_unknown_mode_rejected(self, ledger):
         with pytest.raises(ValueError):
             ledger.decode_step(1, 128, "int3")
+
+
+class TestServingBench:
+    """Mode wiring of the serving experiment (the full simulation runs
+    in examples/serving_simulation.py; here we only check the mapping)."""
+
+    def test_kv_budgets_reflect_compression(self):
+        from repro.bench.serving import make_kv_budget
+        cfg = llama_7b()
+        fp16 = make_kv_budget(cfg, "fp16", 4e9)
+        cq4 = make_kv_budget(cfg, "kv-cq-4", 4e9)
+        cq2 = make_kv_budget(cfg, "kv-cq-2", 4e9)
+        assert cq4.bytes_per_token == pytest.approx(
+            fp16.bytes_per_token * 0.25)
+        assert cq2.bytes_per_token == pytest.approx(
+            fp16.bytes_per_token * 0.125)
+        assert cq2.max_tokens > cq4.max_tokens > fp16.max_tokens
+
+    def test_full_stack_modes_map_to_e2e_algos(self):
+        from repro.bench.serving import make_kv_budget
+        cfg = llama_7b()
+        vq4 = make_kv_budget(cfg, "vq4", 4e9)
+        qserve = make_kv_budget(cfg, "qserve", 4e9)
+        # CQ-4 codes and INT4 both store 25% of FP16; only the VQ mode
+        # additionally pays resident codebooks.
+        assert vq4.bytes_per_token == pytest.approx(qserve.bytes_per_token)
+        assert vq4.overhead_bytes > 0 and qserve.overhead_bytes == 0
+
+    def test_unknown_mode_rejected(self):
+        from repro.bench.serving import make_cost_model
+        from repro.core.engine import ComputeEngine
+        with pytest.raises(ValueError):
+            make_cost_model(ComputeEngine(RTX4090), llama_7b(), "int3")

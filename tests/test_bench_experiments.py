@@ -1,8 +1,6 @@
 """Experiment-registry and CLI tests (cheap experiments only; the
 expensive figures are exercised by the benchmark suite)."""
 
-import pytest
-
 from repro.bench.ablation import ABLATIONS
 from repro.bench.ablation import main as ablation_main
 from repro.bench.ablation import quantization_overhead, \

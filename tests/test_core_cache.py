@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.cache import CacheBoundaries, CodebookCache, plan_boundaries
-from repro.core.hotness import profile_hotness
 from repro.core.slack import ResourceSlack
 
 

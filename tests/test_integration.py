@@ -1,8 +1,6 @@
 """Integration tests: fused kernels end-to-end (numerics + model)."""
 
 import numpy as np
-import pytest
-
 from repro.core.cache import CodebookCache
 from repro.core.codegen import VQLLMCodeGenerator
 from repro.core.fusion import exchange_to_compute_layout

@@ -1,8 +1,6 @@
 """Element-wise quantization kernel tests (AWQ / QoQ baselines)."""
 
 import numpy as np
-import pytest
-
 from repro.gpu.spec import RTX4090
 from repro.kernels.attention import AttentionShape, FlashDecodingKernel
 from repro.kernels.elementwise import (

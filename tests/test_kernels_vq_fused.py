@@ -1,6 +1,5 @@
 """Fused VQ kernel model tests: counter-level claims of the paper."""
 
-import numpy as np
 import pytest
 
 from repro.core.codegen import VQLLMCodeGenerator

@@ -1,0 +1,105 @@
+"""Request-trace layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.serve.requests import (
+    LengthSampler,
+    Request,
+    bursty_trace,
+    poisson_trace,
+    replayed_trace,
+    trace_stats,
+)
+
+
+class TestRequest:
+    def test_total_tokens(self):
+        r = Request(req_id=0, arrival_s=0.0, prompt_tokens=100,
+                    output_tokens=28)
+        assert r.total_tokens == 128
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Request(0, 0.0, prompt_tokens=0, output_tokens=1)
+        with pytest.raises(ValueError):
+            Request(0, 0.0, prompt_tokens=1, output_tokens=0)
+        with pytest.raises(ValueError):
+            Request(0, -1.0, prompt_tokens=1, output_tokens=1)
+
+
+class TestLengthSampler:
+    def test_respects_clipping(self):
+        s = LengthSampler(mean=100, cv=2.0, lo=16, hi=256)
+        lengths = s.sample(np.random.default_rng(0), 2000)
+        assert lengths.min() >= 16 and lengths.max() <= 256
+
+    def test_zero_cv_is_constant(self):
+        s = LengthSampler(mean=64, cv=0.0)
+        assert set(s.sample(np.random.default_rng(0), 10)) == {64}
+
+    def test_mean_roughly_matches(self):
+        s = LengthSampler(mean=200, cv=0.3, hi=10_000)
+        lengths = s.sample(np.random.default_rng(1), 5000)
+        assert lengths.mean() == pytest.approx(200, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LengthSampler(mean=0)
+        with pytest.raises(ValueError):
+            LengthSampler(mean=10, lo=5, hi=4)
+
+
+class TestPoissonTrace:
+    def test_deterministic_given_seed(self):
+        a = poisson_trace(4.0, 50, seed=3)
+        b = poisson_trace(4.0, 50, seed=3)
+        assert a == b
+        assert a != poisson_trace(4.0, 50, seed=4)
+
+    def test_sorted_arrivals_and_ids(self):
+        trace = poisson_trace(8.0, 100, seed=0)
+        arrivals = [r.arrival_s for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert [r.req_id for r in trace] == list(range(100))
+        assert arrivals[0] == 0.0
+
+    def test_rate_roughly_matches(self):
+        trace = poisson_trace(10.0, 2000, seed=0)
+        stats = trace_stats(trace)
+        assert stats["offered_rps"] == pytest.approx(10.0, rel=0.1)
+
+
+class TestBurstyTrace:
+    def test_has_requested_count_and_order(self):
+        trace = bursty_trace(5.0, 200, seed=0)
+        assert len(trace) == 200
+        arrivals = [r.arrival_s for r in trace]
+        assert arrivals == sorted(arrivals)
+
+    def test_burstier_than_poisson(self):
+        """The MMPP inter-arrival CV must exceed the Poisson CV of 1."""
+        trace = bursty_trace(5.0, 3000, burst_factor=8.0, seed=0)
+        gaps = np.diff([r.arrival_s for r in trace])
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.1
+
+
+class TestReplayedTrace:
+    def test_rebases_and_scales_time(self):
+        trace = replayed_trace([10.0, 11.0, 14.0], [8, 16, 32], [4, 4, 4],
+                               time_scale=2.0)
+        assert [r.arrival_s for r in trace] == [0.0, 2.0, 8.0]
+        assert [r.prompt_tokens for r in trace] == [8, 16, 32]
+
+    def test_sorts_out_of_order_arrivals(self):
+        trace = replayed_trace([5.0, 1.0], [8, 16], [4, 4])
+        assert [r.prompt_tokens for r in trace] == [16, 8]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replayed_trace([0.0], [8], [4, 4])
+        with pytest.raises(ValueError):
+            replayed_trace([], [], [])
+        with pytest.raises(ValueError):
+            replayed_trace([0.0], [8], [4], time_scale=0.0)
