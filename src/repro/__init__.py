@@ -20,7 +20,10 @@ package reproduces it on an analytic GPU model:
   and figure of the paper's evaluation;
 - :mod:`repro.serve` — a continuous-batching serving simulator that
   drives the analytic stack at the request level (arrivals, KV-cache
-  admission control, throughput/TTFT/TPOT/latency percentiles).
+  admission control, throughput/TTFT/TPOT/latency percentiles);
+- :mod:`repro.cluster` — the multi-GPU layer: interconnect collective
+  models, Megatron-style tensor-parallel sharding, and a multi-replica
+  fleet simulator with routing policies and SLO-based fleet sizing.
 
 See ``README.md`` for a guided tour and ``docs/architecture.md`` for
 the data-flow picture.

@@ -1,0 +1,235 @@
+"""Cluster-level experiments: TP scaling and FP16-vs-CQ fleet sizing.
+
+Two questions the single-GPU serving comparison cannot answer:
+
+1. **How does tensor parallelism scale one replica?**
+   :func:`tp_scaling` prices a decode iteration at increasing
+   ``tp_degree`` over a chosen interconnect: per-shard kernels shrink,
+   ring collectives grow, and the crossover depends on the link — the
+   NVLink-vs-PCIe contrast is the whole story.
+
+2. **How many GPUs does an SLO cost?**  :func:`fleet_sizing` /
+   :func:`fleet_sizing_comparison` grow a fleet of identical replicas
+   until the TTFT/TPOT SLO is met at a fixed offered load, at equal
+   per-GPU HBM (derived from ``GPUSpec.dram_bytes``).  Because a
+   CQ-compressed KV cache admits ~4-8x more concurrent sequences per
+   replica, the VQ fleet meets the same SLO with fewer GPUs — the
+   fleet-scale form of the paper's headline claim.
+
+Every replica in every fleet shares one :class:`ComputeEngine`, so the
+whole sweep evaluates each distinct kernel once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.serving import (
+    make_cost_model,
+    make_trace,
+    mode_cost_kwargs,
+    mode_kv_scheme,
+)
+from repro.cluster.costs import ShardedStepCostModel
+from repro.cluster.fleet import SLO, FleetReport, Replica, size_fleet
+from repro.cluster.interconnect import LinkSpec, NVLINK3, PCIE4
+from repro.cluster.sharding import TensorParallelPlan
+from repro.core.engine import ComputeEngine
+from repro.gpu.spec import GPUSpec, RTX4090
+from repro.llm.config import LlamaConfig, llama_7b
+from repro.serve.scheduler import ContinuousBatchScheduler, KVBudget
+
+
+def make_sharded_cost_model(
+    engine: ComputeEngine,
+    config: LlamaConfig,
+    mode: str,
+    plan: TensorParallelPlan,
+    seq_bucket: int = 512,
+) -> ShardedStepCostModel:
+    """TP-aware cost model for one serving mode (sample tensors)."""
+    return ShardedStepCostModel(engine, config, plan, seq_bucket=seq_bucket,
+                                **mode_cost_kwargs(mode))
+
+
+def replica_kv_budget(
+    config: LlamaConfig,
+    mode: str,
+    spec: GPUSpec,
+    tp_degree: int = 1,
+    link: LinkSpec = NVLINK3,
+    reserve_fraction: float = 0.1,
+) -> KVBudget:
+    """Per-replica KV budget at equal per-GPU HBM.
+
+    Capacity comes from the spec's DRAM minus the per-GPU weight shard
+    and a reserve margin; the mode sets bytes-per-token (and, for VQ,
+    the replicated-codebook overhead).
+    """
+    scheme = mode_kv_scheme(mode)
+    if tp_degree == 1:
+        return KVBudget.for_gpu(config, spec,
+                                reserve_fraction=reserve_fraction, **scheme)
+    plan = TensorParallelPlan(config, tp_degree, link)
+    capacity = KVBudget.gpu_kv_capacity(spec, plan.weight_bytes_per_gpu(),
+                                        reserve_fraction)
+    return plan.kv_budget(capacity, **scheme)
+
+
+def make_replicas(
+    n: int,
+    mode: str,
+    spec: GPUSpec = RTX4090,
+    config: Optional[LlamaConfig] = None,
+    engine: Optional[ComputeEngine] = None,
+    tp_degree: int = 1,
+    link: LinkSpec = NVLINK3,
+    token_budget: int = 2048,
+    max_seqs: int = 128,
+    reserve_fraction: float = 0.1,
+) -> list:
+    """``n`` identical fresh replicas of one serving mode.
+
+    Each replica is a ``tp_degree``-GPU group (a single GPU by
+    default).  The cost model and budget template are shared — both
+    are read-only — while every replica gets its own scheduler.
+    """
+    config = config or llama_7b()
+    engine = engine or ComputeEngine(spec)
+    budget = replica_kv_budget(config, mode, spec, tp_degree, link,
+                               reserve_fraction)
+    if tp_degree == 1:
+        cost = make_cost_model(engine, config, mode)
+    else:
+        plan = TensorParallelPlan(config, tp_degree, link)
+        cost = make_sharded_cost_model(engine, config, mode, plan)
+    return [
+        Replica(i, ContinuousBatchScheduler(budget,
+                                            token_budget=token_budget,
+                                            max_seqs=max_seqs), cost)
+        for i in range(n)
+    ]
+
+
+def tp_scaling(
+    spec: GPUSpec = RTX4090,
+    config: Optional[LlamaConfig] = None,
+    mode: str = "fp16",
+    degrees: Sequence[int] = (1, 2, 4, 8),
+    links: Sequence[LinkSpec] = (NVLINK3, PCIE4),
+    batch: int = 16,
+    context_tokens: int = 1024,
+    engine: Optional[ComputeEngine] = None,
+) -> ExperimentResult:
+    """Decode-iteration latency vs tensor-parallel degree per link."""
+    config = config or llama_7b()
+    engine = engine or ComputeEngine(spec)
+    result = ExperimentResult(
+        experiment_id="tp_scaling",
+        title=f"Tensor-parallel decode scaling on {spec.name} "
+              f"({config.name}, {mode}, batch {batch}, "
+              f"context {context_tokens})",
+        columns=("link", "tp", "step_us", "collective_us",
+                 "collective_share", "speedup_vs_tp1"),
+    )
+    for link in links:
+        # Anchor the speedup column to an explicit tp=1 evaluation so
+        # sweeps that start above 1 (degrees=(2, 4, 8)) stay honest.
+        base_us = make_sharded_cost_model(
+            engine, config, mode,
+            TensorParallelPlan(config, 1, link)).decode_step_us(
+                batch, context_tokens)
+        for tp in degrees:
+            plan = TensorParallelPlan(config, tp, link)
+            cost = make_sharded_cost_model(engine, config, mode, plan)
+            step_us = cost.decode_step_us(batch, context_tokens)
+            coll_us = plan.decode_collective_us(
+                cost._bucket_batch(batch))
+            result.add_row(link.name, tp, step_us, coll_us,
+                           coll_us / step_us, base_us / step_us)
+    return result
+
+
+def fleet_sizing(
+    mode: str,
+    trace,
+    slo: SLO,
+    spec: GPUSpec = RTX4090,
+    config: Optional[LlamaConfig] = None,
+    engine: Optional[ComputeEngine] = None,
+    policy: str = "least-kv",
+    max_replicas: int = 8,
+    **replica_kwargs,
+) -> Tuple[Optional[int], FleetReport]:
+    """Smallest fleet of one mode meeting the SLO on a shared trace."""
+    config = config or llama_7b()
+    engine = engine or ComputeEngine(spec)
+
+    def factory(n: int):
+        return make_replicas(n, mode, spec=spec, config=config,
+                             engine=engine, **replica_kwargs)
+
+    return size_fleet(factory, trace, slo, policy=policy,
+                      max_replicas=max_replicas)
+
+
+def fleet_sizing_comparison(
+    spec: GPUSpec = RTX4090,
+    config: Optional[LlamaConfig] = None,
+    modes: Sequence[str] = ("fp16", "kv-cq-4"),
+    rate_rps: float = 24.0,
+    n_requests: int = 96,
+    prompt_mean: int = 1024,
+    output_mean: int = 96,
+    trace_kind: str = "poisson",
+    seed: int = 0,
+    slo: SLO = SLO(ttft_s=2.0),
+    policy: str = "least-kv",
+    max_replicas: int = 8,
+    tp_degree: int = 1,
+    engine: Optional[ComputeEngine] = None,
+    reports: Optional[Dict[str, Tuple[Optional[int], FleetReport]]] = None,
+    **replica_kwargs,
+) -> ExperimentResult:
+    """Headline comparison: GPUs each mode needs to meet the SLO.
+
+    All modes face the *same* trace and the same per-GPU HBM; the table
+    reports the smallest compliant fleet per mode ("-" when even
+    ``max_replicas`` replicas miss).  Pass a dict as ``reports`` to
+    also receive each mode's ``(size, FleetReport)``.
+    """
+    config = config or llama_7b()
+    engine = engine or ComputeEngine(spec)
+    trace = make_trace(trace_kind, rate_rps, n_requests,
+                       prompt_mean, output_mean, seed=seed)
+    result = ExperimentResult(
+        experiment_id="fleet_sizing",
+        title=f"Fleet sizing on {spec.name} ({config.name}, "
+              f"{rate_rps:.0f} req/s offered, TTFT p{slo.quantile:.0f} "
+              f"<= {slo.ttft_s:.1f} s, equal per-GPU HBM)",
+        columns=("mode", "replicas", "gpus", "goodput_rps",
+                 "ttft_p95_ms", "tpot_p50_ms", "attainment"),
+    )
+    sizes: Dict[str, Optional[int]] = {}
+    for mode in modes:
+        n, report = fleet_sizing(mode, trace, slo, spec=spec, config=config,
+                                 engine=engine, policy=policy,
+                                 max_replicas=max_replicas,
+                                 tp_degree=tp_degree, **replica_kwargs)
+        sizes[mode] = n
+        if reports is not None:
+            reports[mode] = (n, report)
+        result.add_row(mode, n if n is not None else "-",
+                       n * tp_degree if n is not None else "-",
+                       report.goodput_rps(slo),
+                       report.ttft_s(95) * 1e3, report.tpot_s(50) * 1e3,
+                       report.slo_attainment(slo))
+    base = sizes.get("fp16")
+    for mode, n in sizes.items():
+        if mode != "fp16" and base is not None and n is not None and n < base:
+            result.notes.append(
+                f"{mode} meets the SLO with {base - n} fewer "
+                f"replica(s) than fp16 ({n} vs {base}) at equal "
+                "per-GPU HBM")
+    return result

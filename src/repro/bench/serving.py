@@ -28,16 +28,23 @@ Two mode families are supported:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import argparse
+from typing import List, Optional, Sequence
 
 from repro.bench.e2e import _VQ_KV_ALGO, _VQ_WEIGHT_ALGO, MODES
 from repro.bench.harness import ExperimentResult
 from repro.bench.workloads import attention_sample, weight_sample
 from repro.core.engine import ComputeEngine
-from repro.gpu.spec import GPUSpec, RTX4090
+from repro.gpu.spec import GPUSpec, RTX4090, get_spec
 from repro.llm.config import LlamaConfig, llama_7b
 from repro.serve.costs import StepCostModel
-from repro.serve.requests import LengthSampler, poisson_trace
+from repro.serve.requests import (
+    LengthSampler,
+    Request,
+    bursty_trace,
+    poisson_trace,
+    trace_stats,
+)
 from repro.serve.scheduler import ContinuousBatchScheduler, KVBudget
 from repro.serve.simulator import ServingReport, ServingSimulator
 from repro.vq.algorithms import make_config
@@ -49,51 +56,96 @@ KV_ONLY_MODES = {"kv-cq-4": "cq-4", "kv-cq-2": "cq-2"}
 #: All serving modes this experiment understands.
 SERVING_MODES = tuple(MODES) + tuple(KV_ONLY_MODES)
 
+#: Arrival processes :func:`make_trace` understands.
+TRACE_KINDS = ("poisson", "bursty")
+
+
+def mode_kv_scheme(mode: str) -> dict:
+    """The ``vq=`` / ``bits=`` KV-cache scheme of one serving mode."""
+    if mode == "fp16":
+        return {}
+    if mode == "qserve":
+        return {"bits": 4}
+    if mode in KV_ONLY_MODES:
+        return {"vq": make_config(KV_ONLY_MODES[mode])}
+    if mode in _VQ_KV_ALGO:
+        return {"vq": make_config(_VQ_KV_ALGO[mode])}
+    raise ValueError(f"unknown mode {mode!r}; "
+                     f"expected one of {SERVING_MODES}")
+
 
 def make_kv_budget(config: LlamaConfig, mode: str,
-                   capacity_bytes: float) -> KVBudget:
-    """KV budget for one serving mode at a fixed HBM allowance."""
+                   capacity_bytes: Optional[float] = None,
+                   spec: Optional[GPUSpec] = None) -> KVBudget:
+    """KV budget for one serving mode.
+
+    With ``capacity_bytes`` the allowance is explicit (the PR-1
+    behaviour); with ``spec`` instead, the budget derives from the
+    chip's ``dram_bytes`` minus FP16 weights and a reserve margin
+    (:meth:`~repro.serve.scheduler.KVBudget.for_gpu`), so callers no
+    longer thread ad-hoc byte counts.
+    """
+    scheme = mode_kv_scheme(mode)
+    if capacity_bytes is not None:
+        return KVBudget.for_model(config, capacity_bytes, **scheme)
+    if spec is None:
+        raise ValueError("pass capacity_bytes or a GPUSpec")
+    return KVBudget.for_gpu(config, spec, **scheme)
+
+
+def make_trace(
+    kind: str,
+    rate_rps: float,
+    n_requests: int,
+    prompt_mean: int,
+    output_mean: int,
+    seed: int = 0,
+) -> List[Request]:
+    """Build an arrival trace of one of :data:`TRACE_KINDS`."""
+    samplers = dict(
+        prompt=LengthSampler(mean=prompt_mean, cv=0.5, hi=4 * prompt_mean),
+        output=LengthSampler(mean=output_mean, cv=0.5, hi=4 * output_mean),
+    )
+    if kind == "poisson":
+        return poisson_trace(rate_rps, n_requests, seed=seed, **samplers)
+    if kind == "bursty":
+        return bursty_trace(rate_rps, n_requests, seed=seed, **samplers)
+    raise ValueError(f"unknown trace kind {kind!r}; "
+                     f"expected one of {TRACE_KINDS}")
+
+
+def mode_cost_kwargs(mode: str) -> dict:
+    """Quantized-operand kwargs of one serving mode's cost model.
+
+    Shared with the TP-aware cluster cost model
+    (:mod:`repro.bench.cluster`), which passes the same operands to
+    :class:`~repro.cluster.costs.ShardedStepCostModel`.
+    """
+    if mode not in SERVING_MODES:
+        raise ValueError(f"unknown mode {mode!r}; "
+                         f"expected one of {SERVING_MODES}")
     if mode == "fp16":
-        return KVBudget.for_model(config, capacity_bytes)
+        return {}
     if mode == "qserve":
-        return KVBudget.for_model(config, capacity_bytes, bits=4)
+        return {"weight_bits": 4, "kv_bits": 4}
     if mode in KV_ONLY_MODES:
-        return KVBudget.for_model(config, capacity_bytes,
-                                  vq=make_config(KV_ONLY_MODES[mode]))
-    return KVBudget.for_model(config, capacity_bytes,
-                              vq=make_config(_VQ_KV_ALGO[mode]))
+        return {"kv_qt": attention_sample(KV_ONLY_MODES[mode])}
+    return {"weight_qt": weight_sample(_VQ_WEIGHT_ALGO[mode]),
+            "kv_qt": attention_sample(_VQ_KV_ALGO[mode])}
 
 
 def make_cost_model(engine: ComputeEngine, config: LlamaConfig, mode: str,
                     seq_bucket: int = 512) -> StepCostModel:
     """Step cost model for one serving mode, using the sample tensors."""
-    if mode not in SERVING_MODES:
-        raise ValueError(f"unknown mode {mode!r}; "
-                         f"expected one of {SERVING_MODES}")
-    if mode == "fp16":
-        return StepCostModel(engine, config, seq_bucket=seq_bucket)
-    if mode == "qserve":
-        return StepCostModel(engine, config, weight_bits=4, kv_bits=4,
-                             seq_bucket=seq_bucket)
-    if mode in KV_ONLY_MODES:
-        return StepCostModel(
-            engine, config,
-            kv_qt=attention_sample(KV_ONLY_MODES[mode]),
-            seq_bucket=seq_bucket,
-        )
-    return StepCostModel(
-        engine, config,
-        weight_qt=weight_sample(_VQ_WEIGHT_ALGO[mode]),
-        kv_qt=attention_sample(_VQ_KV_ALGO[mode]),
-        seq_bucket=seq_bucket,
-    )
+    return StepCostModel(engine, config, seq_bucket=seq_bucket,
+                         **mode_cost_kwargs(mode))
 
 
 def simulate_mode(
     mode: str,
     spec: GPUSpec = RTX4090,
     config: Optional[LlamaConfig] = None,
-    kv_hbm_gb: float = 4.0,
+    kv_hbm_gb: Optional[float] = 4.0,
     rate_rps: float = 16.0,
     n_requests: int = 64,
     prompt_mean: int = 384,
@@ -101,18 +153,23 @@ def simulate_mode(
     token_budget: int = 2048,
     max_seqs: int = 64,
     seed: int = 0,
+    trace_kind: str = "poisson",
     engine: Optional[ComputeEngine] = None,
 ) -> ServingReport:
-    """Simulate one serving mode on a Poisson trace."""
+    """Simulate one serving mode on an open-loop trace.
+
+    ``kv_hbm_gb=None`` derives the KV allowance from the GPU spec's
+    DRAM capacity (minus FP16 weights and a reserve margin) instead of
+    a fixed byte count.
+    """
     config = config or llama_7b()
     engine = engine or ComputeEngine(spec)
-    trace = poisson_trace(
-        rate_rps, n_requests,
-        prompt=LengthSampler(mean=prompt_mean, cv=0.5, hi=4 * prompt_mean),
-        output=LengthSampler(mean=output_mean, cv=0.5, hi=4 * output_mean),
-        seed=seed,
-    )
-    budget = make_kv_budget(config, mode, kv_hbm_gb * 1e9)
+    trace = make_trace(trace_kind, rate_rps, n_requests,
+                       prompt_mean, output_mean, seed=seed)
+    budget = make_kv_budget(
+        config, mode,
+        capacity_bytes=None if kv_hbm_gb is None else kv_hbm_gb * 1e9,
+        spec=spec)
     scheduler = ContinuousBatchScheduler(budget, token_budget=token_budget,
                                          max_seqs=max_seqs)
     cost_model = make_cost_model(engine, config, mode)
@@ -124,12 +181,15 @@ def serving_comparison(
     config: Optional[LlamaConfig] = None,
     modes: Sequence[str] = ("fp16", "kv-cq-4", "kv-cq-2"),
     engine: Optional[ComputeEngine] = None,
+    reports: Optional[dict] = None,
     **kwargs,
 ) -> ExperimentResult:
     """Compare serving modes at an equal KV-cache HBM budget.
 
     Extra keyword arguments go to :func:`simulate_mode`; every mode
     shares one engine (and thus one latency memo) and the same trace.
+    Pass a dict as ``reports`` to also receive each mode's
+    :class:`~repro.serve.simulator.ServingReport`.
     """
     config = config or llama_7b()
     engine = engine or ComputeEngine(spec)
@@ -140,7 +200,7 @@ def serving_comparison(
         columns=("mode", "req/s", "tok/s", "ttft_p50_ms", "tpot_p50_ms",
                  "latency_p99_s", "peak_seqs"),
     )
-    reports = {}
+    reports = reports if reports is not None else {}
     for mode in modes:
         rep = simulate_mode(mode, spec=spec, config=config, engine=engine,
                             **kwargs)
@@ -156,3 +216,71 @@ def serving_comparison(
                     f"{mode} sustains {rep.throughput_rps / base:.2f}x "
                     f"the FP16 request throughput at equal KV memory")
     return result
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: ``python -m repro.bench.serving``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.serving",
+        description="Continuous-batching serving comparison: FP16 vs "
+                    "quantized KV caches at an equal HBM budget.")
+    parser.add_argument("--gpu", default="rtx4090",
+                        help="GPU preset name (rtx4090, a40, a100)")
+    parser.add_argument("--modes", nargs="+",
+                        default=["fp16", "kv-cq-4", "kv-cq-2"],
+                        choices=list(SERVING_MODES), metavar="MODE",
+                        help=f"serving modes to compare {SERVING_MODES}")
+    parser.add_argument("--trace", default="poisson", choices=TRACE_KINDS,
+                        help="arrival process")
+    parser.add_argument("--rate", type=float, default=16.0,
+                        help="offered arrival rate, requests/s")
+    parser.add_argument("--requests", type=int, default=64,
+                        help="number of requests in the trace")
+    parser.add_argument("--prompt-mean", type=int, default=384,
+                        help="mean prompt length, tokens")
+    parser.add_argument("--output-mean", type=int, default=96,
+                        help="mean output length, tokens")
+    parser.add_argument("--kv-gb", type=float, default=None,
+                        help="KV-cache HBM allowance in GB (default: "
+                             "derive from the GPU's DRAM capacity minus "
+                             "FP16 weights)")
+    parser.add_argument("--token-budget", type=int, default=2048,
+                        help="max tokens per scheduler iteration")
+    parser.add_argument("--max-seqs", type=int, default=64,
+                        help="max concurrently admitted sequences")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="trace RNG seed")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print per-mode report summaries")
+    args = parser.parse_args(argv)
+
+    spec = get_spec(args.gpu)
+    config = llama_7b()
+    engine = ComputeEngine(spec)
+    workload = dict(
+        kv_hbm_gb=args.kv_gb, rate_rps=args.rate, n_requests=args.requests,
+        prompt_mean=args.prompt_mean, output_mean=args.output_mean,
+        token_budget=args.token_budget, max_seqs=args.max_seqs,
+        seed=args.seed, trace_kind=args.trace,
+    )
+    stats = trace_stats(make_trace(args.trace, args.rate, args.requests,
+                                   args.prompt_mean, args.output_mean,
+                                   seed=args.seed))
+    print(f"trace: {args.trace}, {stats['n_requests']} requests, "
+          f"{stats['offered_rps']:.1f} req/s offered, "
+          f"mean prompt {stats['mean_prompt_tokens']:.0f} / "
+          f"output {stats['mean_output_tokens']:.0f} tokens")
+    reports: dict = {}
+    table = serving_comparison(spec=spec, config=config, engine=engine,
+                               modes=args.modes, reports=reports, **workload)
+    if args.verbose:
+        for rep in reports.values():
+            print()
+            print(rep.summary())
+        print()
+    print(table)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

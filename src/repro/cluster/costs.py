@@ -1,0 +1,61 @@
+"""TP-aware iteration cost model.
+
+:class:`ShardedStepCostModel` extends
+:class:`repro.serve.costs.StepCostModel` to price one scheduler
+iteration on a tensor-parallel group: it overrides the base model's
+sharding hooks so that every GEMM/GEMV/attention shape is first
+sharded by a :class:`~repro.cluster.sharding.TensorParallelPlan`,
+priced through the same memoized
+:meth:`~repro.core.engine.ComputeEngine.batch_latency_us` (all shards
+are identical, so one shard's latency is the group's compute time),
+and the plan's ring-collective cost is added per iteration.  The
+pricing loops themselves — which operators an iteration runs — live
+only in the base class.
+
+Element-wise operators (norms, RoPE, activations) are charged
+*unsharded*: layer norms run replicated on every GPU in Megatron-style
+TP, and the sharded activation passes they bracket are bandwidth-bound
+either way — keeping the full charge errs conservative, consistent with
+the round-up bucketing of the base model.
+
+With ``tp_degree == 1`` and any link, this model is exactly the base
+model (the sharding plan passes shapes through and collectives cost
+zero) — tested in ``tests/test_cluster_sharding.py``.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.attention import AttentionShape
+from repro.kernels.gemm import GemmShape
+
+from repro.cluster.sharding import TensorParallelPlan
+from repro.serve.costs import StepCostModel
+
+
+class ShardedStepCostModel(StepCostModel):
+    """Prices iterations for one (GPU, model, mode, TP plan) tuple.
+
+    Accepts every :class:`~repro.serve.costs.StepCostModel` keyword
+    (quantized operands, bucketing grids) plus the sharding ``plan``.
+    The engine's GPU spec describes *one* shard — the group is
+    ``plan.tp_degree`` of them in lockstep.
+    """
+
+    def __init__(self, engine, config, plan: TensorParallelPlan, **kwargs):
+        if plan.config is not config and plan.config != config:
+            raise ValueError("plan was built for a different model config")
+        super().__init__(engine, config, **kwargs)
+        self.plan = plan
+
+    # -- sharding hooks ------------------------------------------------
+    def _shard_gemm(self, name: str, shape: GemmShape) -> GemmShape:
+        return self.plan.shard_gemm(name, shape)
+
+    def _shard_attention(self, shape: AttentionShape) -> AttentionShape:
+        return self.plan.shard_attention(shape)
+
+    def _decode_collective_us(self, batch: int) -> float:
+        return self.plan.decode_collective_us(batch)
+
+    def _prefill_collective_us(self, tokens: int) -> float:
+        return self.plan.prefill_collective_us(tokens)

@@ -1,0 +1,408 @@
+"""Multi-replica fleet simulator with pluggable request routing.
+
+A *replica* is one serving engine — a single GPU or a whole
+tensor-parallel group — wrapping its own
+:class:`~repro.serve.scheduler.ContinuousBatchScheduler` and iteration
+cost model behind a private clock.  The :class:`FleetSimulator` drives
+``N`` replicas behind a front-end router: requests arrive on one shared
+trace, the router inspects replica state *as of the arrival instant*
+and picks a target, and each replica then runs its own iteration loop
+exactly as the single-engine :class:`~repro.serve.simulator.ServingSimulator`
+does.  Replicas never interact except through routing, so the event
+loop only has to keep replica clocks consistent with arrival order:
+every replica is advanced to each arrival time before the router looks
+at queue depths (an iteration already in flight may overshoot the
+arrival — the request then waits for the iteration boundary, as on a
+real engine).
+
+Routing policies:
+
+- ``round-robin`` — cycle through replicas regardless of state;
+- ``jsq`` — join the shortest queue (waiting + running sequences);
+- ``least-kv`` — join the replica with the lowest KV-cache *pressure*
+  (reserved plus queued worst-case tokens over budget), which is the
+  policy that understands what compression changes: a VQ replica under
+  the same byte budget reports a fraction of the FP16 pressure.
+
+The fleet-level deliverable is :class:`FleetReport` and its
+SLO-conditioned metrics (:meth:`FleetReport.goodput_rps`,
+:meth:`FleetReport.meets`), plus :func:`size_fleet` — the smallest
+replica count whose fleet meets a TTFT/TPOT SLO at a given offered
+load, which is the unit the headline CQ-vs-FP16 comparison is priced
+in (GPUs, not microseconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.serve.costs import StepCostModel
+from repro.serve.requests import Request
+from repro.serve.scheduler import ContinuousBatchScheduler
+from repro.serve.simulator import RequestRecord, percentile
+
+
+@dataclass(frozen=True)
+class SLO:
+    """A per-request service-level objective.
+
+    ``ttft_s`` / ``tpot_s`` are the limits an individual request must
+    meet; fleet-level compliance (:meth:`FleetReport.meets`) requires
+    the ``quantile``-th percentile of completed requests within the
+    limits and no rejections.
+    """
+
+    ttft_s: float
+    tpot_s: Optional[float] = None
+    quantile: float = 95.0
+
+    def __post_init__(self):
+        if self.ttft_s <= 0:
+            raise ValueError("ttft_s must be positive")
+        if self.tpot_s is not None and self.tpot_s <= 0:
+            raise ValueError("tpot_s must be positive")
+        if not 0 < self.quantile <= 100:
+            raise ValueError("quantile must be in (0, 100]")
+
+    def met_by(self, record: RequestRecord) -> bool:
+        """Whether one completed request met the objective."""
+        if record.ttft_s > self.ttft_s:
+            return False
+        if self.tpot_s is not None and record.tpot_s > self.tpot_s:
+            return False
+        return True
+
+
+class Replica:
+    """One serving engine instance with a private simulation clock."""
+
+    def __init__(self, replica_id: int,
+                 scheduler: ContinuousBatchScheduler,
+                 cost_model: StepCostModel):
+        self.replica_id = replica_id
+        self.scheduler = scheduler
+        self.cost_model = cost_model
+        self.now_s = 0.0
+        self.iterations = 0
+        self.n_submitted = 0
+        self.peak_kv = 0.0
+        self.finished: list = []
+
+    @property
+    def has_work(self) -> bool:
+        return self.scheduler.has_work
+
+    @property
+    def queue_depth(self) -> int:
+        """Sequences on this replica: queued plus running."""
+        s = self.scheduler
+        return len(s.waiting) + len(s.running)
+
+    @property
+    def kv_pressure(self) -> float:
+        """Worst-case KV demand over budget, counting the queue.
+
+        Unlike :attr:`~repro.serve.scheduler.ContinuousBatchScheduler.kv_utilization`
+        this includes *waiting* requests' reservations-to-be, so a
+        router sees pressure build before admission does.
+        """
+        s = self.scheduler
+        demand = s.reserved_tokens + sum(r.total_tokens for r in s.waiting)
+        return demand / max(1, s.budget.max_tokens)
+
+    def submit(self, request: Request) -> None:
+        """Route one request here (arrival may be later than the clock)."""
+        self.now_s = max(self.now_s, request.arrival_s)
+        self.scheduler.submit(request)
+        self.n_submitted += 1
+
+    def step(self) -> None:
+        """Run one scheduler iteration and advance the clock."""
+        plan = self.scheduler.schedule(self.now_s)
+        if plan.empty:  # pragma: no cover - has_work implies a plan
+            return
+        self.iterations += 1
+        self.now_s += self.cost_model.step_us(plan) / 1e6
+        self.peak_kv = max(self.peak_kv, self.scheduler.kv_utilization)
+        self.finished.extend(self.scheduler.complete(plan, self.now_s))
+
+    def advance_to(self, t_s: float) -> None:
+        """Run iterations until the clock reaches ``t_s`` or work runs out."""
+        while self.has_work and self.now_s < t_s:
+            self.step()
+
+
+# ----------------------------------------------------------------------
+# Routing policies
+# ----------------------------------------------------------------------
+class RouterPolicy:
+    """Chooses a replica index for each arriving request.
+
+    ``candidates`` is the non-empty subset of replica indices whose KV
+    budget can hold the request at all; the policy must return one of
+    them.  Policies may keep state (round-robin does), so build a fresh
+    instance per simulation run.
+    """
+
+    name = "abstract"
+
+    def choose(self, request: Request, replicas: Sequence[Replica],
+               candidates: Sequence[int]) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(RouterPolicy):
+    """Cycle through replicas, skipping ones that cannot fit the request."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def choose(self, request, replicas, candidates):
+        allowed = set(candidates)
+        for _ in range(len(replicas)):
+            idx = self._next % len(replicas)
+            self._next += 1
+            if idx in allowed:
+                return idx
+        return candidates[0]  # pragma: no cover - candidates is non-empty
+
+
+class JoinShortestQueuePolicy(RouterPolicy):
+    """Join the replica with the fewest queued + running sequences."""
+
+    name = "jsq"
+
+    def choose(self, request, replicas, candidates):
+        return min(candidates, key=lambda i: (replicas[i].queue_depth, i))
+
+
+class LeastKVPressurePolicy(RouterPolicy):
+    """Join the replica with the lowest worst-case KV demand fraction."""
+
+    name = "least-kv"
+
+    def choose(self, request, replicas, candidates):
+        return min(candidates, key=lambda i: (replicas[i].kv_pressure, i))
+
+
+#: Policy constructors by name (fresh instance per call).
+POLICIES = {
+    "round-robin": RoundRobinPolicy,
+    "jsq": JoinShortestQueuePolicy,
+    "least-kv": LeastKVPressurePolicy,
+}
+
+
+def make_policy(policy: Union[str, RouterPolicy]) -> RouterPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(policy, RouterPolicy):
+        return policy
+    try:
+        return POLICIES[policy]()
+    except KeyError:
+        raise KeyError(f"unknown routing policy {policy!r}; "
+                       f"known: {sorted(POLICIES)}") from None
+
+
+# ----------------------------------------------------------------------
+# Fleet report
+# ----------------------------------------------------------------------
+@dataclass
+class FleetReport:
+    """Aggregate metrics of one simulated fleet run."""
+
+    name: str
+    policy: str
+    n_replicas: int
+    records: List[RequestRecord]
+    #: req_id -> replica index, for every routed request.
+    assignments: Dict[int, int]
+    makespan_s: float
+    #: Per-replica (requests routed, iterations run, peak KV utilization).
+    replica_stats: List[tuple] = field(default_factory=list)
+    n_rejected: int = 0
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.n_requests / self.makespan_s if self.makespan_s else 0.0
+
+    @property
+    def output_tokens_per_s(self) -> float:
+        total = sum(r.output_tokens for r in self.records)
+        return total / self.makespan_s if self.makespan_s else 0.0
+
+    def _quantile(self, values: List[float], q: float) -> float:
+        return percentile(values, q) if values else 0.0
+
+    def ttft_s(self, q: float = 50.0) -> float:
+        return self._quantile([r.ttft_s for r in self.records], q)
+
+    def tpot_s(self, q: float = 50.0) -> float:
+        return self._quantile(
+            [r.tpot_s for r in self.records if r.output_tokens > 1], q)
+
+    def latency_s(self, q: float = 50.0) -> float:
+        return self._quantile([r.latency_s for r in self.records], q)
+
+    # -- SLO-conditioned metrics ---------------------------------------
+    def slo_attainment(self, slo: SLO) -> float:
+        """Fraction of *offered* requests that met the SLO.
+
+        Rejected requests count as misses: a fleet that sheds load does
+        not get credit for the latency of what it kept.
+        """
+        offered = self.n_requests + self.n_rejected
+        if offered == 0:
+            return 0.0
+        met = sum(1 for r in self.records if slo.met_by(r))
+        return met / offered
+
+    def goodput_rps(self, slo: SLO) -> float:
+        """SLO-meeting requests completed per second."""
+        if not self.makespan_s:
+            return 0.0
+        met = sum(1 for r in self.records if slo.met_by(r))
+        return met / self.makespan_s
+
+    def meets(self, slo: SLO) -> bool:
+        """Percentile-level compliance: the SLO's quantile of completed
+        requests is within limits and nothing was rejected."""
+        if self.n_rejected or not self.records:
+            return False
+        if self.ttft_s(slo.quantile) > slo.ttft_s:
+            return False
+        if slo.tpot_s is not None and self.tpot_s(slo.quantile) > slo.tpot_s:
+            return False
+        return True
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"{self.name}: {self.n_replicas} replicas ({self.policy}), "
+            f"{self.n_requests} requests in {self.makespan_s:.2f} s",
+            f"  throughput : {self.throughput_rps:6.2f} req/s, "
+            f"{self.output_tokens_per_s:8.1f} output tok/s",
+            f"  TTFT       : p50 {self.ttft_s(50) * 1e3:8.1f} ms, "
+            f"p95 {self.ttft_s(95) * 1e3:8.1f} ms",
+            f"  TPOT       : p50 {self.tpot_s(50) * 1e3:8.2f} ms/token",
+            f"  latency    : p50 {self.latency_s(50):6.2f} s, "
+            f"p95 {self.latency_s(95):6.2f} s",
+        ]
+        for rid, (routed, iters, peak) in enumerate(self.replica_stats):
+            lines.append(f"  replica {rid}  : {routed:4d} requests, "
+                         f"{iters:6d} iterations, peak KV {peak:.0%}")
+        if self.n_rejected:
+            lines.append(f"  rejected   : {self.n_rejected} requests "
+                         "exceeded every replica's KV budget")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Fleet simulator
+# ----------------------------------------------------------------------
+class FleetSimulator:
+    """Routes a trace across replicas and drains them to a report."""
+
+    def __init__(self, replicas: Sequence[Replica],
+                 policy: Union[str, RouterPolicy] = "jsq",
+                 name: str = "fleet"):
+        if not replicas:
+            raise ValueError("need at least one replica")
+        self.replicas = list(replicas)
+        self.policy = make_policy(policy)
+        self.name = name
+
+    def run(self, trace: Sequence[Request],
+            max_iterations: int = 1_000_000) -> FleetReport:
+        """Simulate the full trace; returns the fleet-level report."""
+        pending = sorted(trace, key=lambda r: r.arrival_s)
+        if not pending:
+            raise ValueError("empty trace")
+        replicas = self.replicas
+        assignments: Dict[int, int] = {}
+        rejected: List[Request] = []
+
+        for req in pending:
+            for rep in replicas:
+                rep.advance_to(req.arrival_s)
+            candidates = [i for i, rep in enumerate(replicas)
+                          if req.total_tokens <= rep.scheduler.budget.max_tokens]
+            if not candidates:
+                rejected.append(req)
+                continue
+            idx = self.policy.choose(req, replicas, candidates)
+            if idx not in candidates:
+                raise ValueError(
+                    f"policy {self.policy.name!r} chose replica {idx}, "
+                    f"not one of the feasible {candidates}")
+            replicas[idx].submit(req)
+            assignments[req.req_id] = idx
+
+        for rep in replicas:
+            while rep.has_work:
+                if rep.iterations >= max_iterations:
+                    raise RuntimeError(
+                        f"replica {rep.replica_id} exceeded "
+                        f"{max_iterations} iterations; the offered load "
+                        "likely diverges")
+                rep.step()
+
+        records = [
+            RequestRecord(
+                req_id=s.request.req_id,
+                arrival_s=s.request.arrival_s,
+                first_token_s=s.first_token_s,
+                finished_s=s.finished_s,
+                prompt_tokens=s.request.prompt_tokens,
+                output_tokens=s.request.output_tokens,
+                queued_s=s.admitted_s - s.request.arrival_s,
+            )
+            for rep in replicas for s in rep.finished
+        ]
+        records.sort(key=lambda r: r.req_id)
+        return FleetReport(
+            name=self.name,
+            policy=self.policy.name,
+            n_replicas=len(replicas),
+            records=records,
+            assignments=assignments,
+            makespan_s=max(rep.now_s for rep in replicas),
+            replica_stats=[(rep.n_submitted, rep.iterations, rep.peak_kv)
+                           for rep in replicas],
+            n_rejected=len(rejected),
+        )
+
+
+def size_fleet(
+    make_replicas: Callable[[int], Sequence[Replica]],
+    trace: Sequence[Request],
+    slo: SLO,
+    policy: Union[str, RouterPolicy] = "jsq",
+    max_replicas: int = 8,
+) -> tuple:
+    """Smallest fleet meeting an SLO at the trace's offered load.
+
+    ``make_replicas(n)`` must return ``n`` *fresh* replicas (schedulers
+    hold state across runs).  Returns ``(n, report)`` for the first
+    compliant size, or ``(None, report)`` with the largest fleet's
+    report if even ``max_replicas`` misses the SLO.  String policies
+    are re-instantiated per size so stateful routers start clean.
+    """
+    if max_replicas < 1:
+        raise ValueError("max_replicas must be >= 1")
+    report = None
+    for n in range(1, max_replicas + 1):
+        sim = FleetSimulator(make_replicas(n), policy=make_policy(policy)
+                             if isinstance(policy, str) else policy,
+                             name=f"fleet-{n}")
+        report = sim.run(trace)
+        if report.meets(slo):
+            return n, report
+    return None, report

@@ -86,9 +86,14 @@ def optimal_split_factor(
 ) -> int:
     """Balance duplicated-codebook traffic against reduction traffic.
 
-    Solves ``codebook_traffic / s == s * output_bytes`` for ``s`` and
-    clamps to ``[1, max_split]``.  Degenerate inputs (zero output or
-    zero codebook traffic) resolve to the corresponding extreme.
+    Minimises ``codebook_traffic / s + s * output_bytes`` over integer
+    ``s`` in ``[1, max_split]``: the real-valued optimum is
+    ``sqrt(codebook_traffic / output_bytes)``, and by convexity the
+    best integer is whichever of its floor/ceil neighbours (clamped)
+    has the lower objective — nearest-integer rounding can pick the
+    wrong side when the optimum falls near ``x.5``.  Degenerate inputs
+    (zero output or zero codebook traffic) resolve to the
+    corresponding extreme.
     """
     if max_split < 1:
         raise ValueError("max_split must be >= 1")
@@ -97,7 +102,13 @@ def optimal_split_factor(
     if output_bytes <= 0:
         return max_split
     balance = math.sqrt(codebook_traffic_bytes / output_bytes)
-    return max(1, min(max_split, int(round(balance))))
+    lo = max(1, min(max_split, math.floor(balance)))
+    hi = max(1, min(max_split, math.ceil(balance)))
+
+    def traffic(s: int) -> float:
+        return codebook_traffic_bytes / s + s * output_bytes
+
+    return lo if traffic(lo) <= traffic(hi) else hi
 
 
 @dataclass(frozen=True)

@@ -63,6 +63,10 @@ class GPUSpec:
     smem_latency_cycles: int = 29
     #: Latency of a global-memory load (L2 miss), cycles.
     global_latency_cycles: int = 470
+    #: DRAM (HBM/GDDR) capacity, bytes (decimal GB, matching the
+    #: bandwidth convention).  0 means unknown — callers that size
+    #: KV budgets from the spec must check.
+    dram_bytes: float = 0.0
 
     @property
     def max_warps_per_sm(self) -> int:
@@ -84,9 +88,18 @@ class GPUSpec:
         """Aggregate shared-memory bandwidth across the chip, bytes/s."""
         return self.smem_bytes_per_cycle * self.sm_count * self.clock_ghz * 1e9
 
+    @property
+    def dram_gb(self) -> float:
+        """DRAM capacity in decimal GB."""
+        return self.dram_bytes / 1e9
+
     def with_bandwidth(self, gbps: float) -> "GPUSpec":
         """Return a copy of this spec with a different DRAM bandwidth."""
         return replace(self, dram_bandwidth_gbps=gbps)
+
+    def with_dram(self, gb: float) -> "GPUSpec":
+        """Return a copy of this spec with a different DRAM capacity."""
+        return replace(self, dram_bytes=gb * 1e9)
 
 
 #: NVIDIA RTX 4090 (Ada, AD102).  128 SMs, 1008 GB/s GDDR6X.
@@ -109,6 +122,7 @@ RTX4090 = GPUSpec(
     l1_bytes=128 * 1024,
     cacheline_bytes=128,
     clock_ghz=2.52,
+    dram_bytes=24e9,
 )
 
 #: NVIDIA Tesla A40 (Ampere, GA102).  84 SMs, 696 GB/s — the paper notes
@@ -132,6 +146,7 @@ A40 = GPUSpec(
     l1_bytes=128 * 1024,
     cacheline_bytes=128,
     clock_ghz=1.74,
+    dram_bytes=48e9,
 )
 
 #: NVIDIA A100-SXM4-80GB (Ampere, GA100).  Included for sensitivity studies.
@@ -154,6 +169,7 @@ A100 = GPUSpec(
     l1_bytes=192 * 1024,
     cacheline_bytes=128,
     clock_ghz=1.41,
+    dram_bytes=80e9,
 )
 
 #: All presets by canonical lowercase key.

@@ -149,6 +149,23 @@ class StepCostModel:
         return (bytes_moved * extra / bw
                 + ELEMENTWISE_LAUNCHES * LAUNCH_OVERHEAD_S) * 1e6
 
+    # -- sharding hooks (identity on one GPU) --------------------------
+    # A tensor-parallel subclass (repro.cluster.costs) reshapes each
+    # operator for one shard and adds collective time per iteration;
+    # keeping the hooks here lets the pricing loops below stay the
+    # single source of truth for *what* an iteration runs.
+    def _shard_gemm(self, name: str, shape: GemmShape) -> GemmShape:
+        return shape
+
+    def _shard_attention(self, shape: AttentionShape) -> AttentionShape:
+        return shape
+
+    def _decode_collective_us(self, batch: int) -> float:
+        return 0.0
+
+    def _prefill_collective_us(self, tokens: int) -> float:
+        return 0.0
+
     # -- iteration pricing ---------------------------------------------
     def decode_step_us(self, batch: int, context_tokens: float) -> float:
         """One decode iteration: ``batch`` sequences, mean context."""
@@ -159,17 +176,19 @@ class StepCostModel:
         total = 0.0
         for op in decode_operator_shapes(self.config, b, s):
             if op.kind == "gemv":
-                shape = GemmShape(m=op.m, n=op.n, k=op.k)
+                shape = self._shard_gemm(op.name,
+                                         GemmShape(m=op.m, n=op.n, k=op.k))
                 total += self._gemv_us(
                     shape, fp16=op.name == "lm_head") * op.count
             elif op.kind == "attention":
-                shape = AttentionShape(batch=op.batch, heads=op.heads,
-                                       seq_len=op.seq_len,
-                                       head_dim=op.head_dim)
+                shape = self._shard_attention(
+                    AttentionShape(batch=op.batch, heads=op.heads,
+                                   seq_len=op.seq_len,
+                                   head_dim=op.head_dim))
                 total += self._attention_us(shape) * op.count
             else:
                 total += self._elementwise_us(op.elements) * op.count
-        return total
+        return total + self._decode_collective_us(b)
 
     def _prefill_attn_cum_us(self, tokens: float) -> float:
         """Cumulative causal-attention cost of prefilling ``tokens``.
@@ -182,9 +201,10 @@ class StepCostModel:
         if tokens < 1:
             return 0.0
         cfg = self.config
-        shape = AttentionShape(batch=1, heads=cfg.n_heads,
-                               seq_len=self._bucket_seq(tokens),
-                               head_dim=cfg.head_dim)
+        shape = self._shard_attention(
+            AttentionShape(batch=1, heads=cfg.n_heads,
+                           seq_len=self._bucket_seq(tokens),
+                           head_dim=cfg.head_dim))
         return self.engine.batch_latency_us("prefill_attention", shape)
 
     def prefill_us(self, new_tokens: int,
@@ -206,13 +226,18 @@ class StepCostModel:
         t = self._bucket_seq(new_tokens)
         h, inter = cfg.hidden, cfg.intermediate
         gemm_us = 0.0
-        for n, k in ((3 * h, h), (h, h), (2 * inter, h), (h, inter)):
-            gemm_us += self._gemm_us(GemmShape(m=t, n=n, k=k))
+        for name, n, k in (("qkv_proj", 3 * h, h),
+                           ("o_proj", h, h),
+                           ("gate_up_proj", 2 * inter, h),
+                           ("down_proj", h, inter)):
+            gemm_us += self._gemm_us(
+                self._shard_gemm(name, GemmShape(m=t, n=n, k=k)))
         attn_us = (self._prefill_attn_cum_us(context_tokens + new_tokens)
                    - self._prefill_attn_cum_us(context_tokens))
         attn_us = max(0.0, attn_us)
         ew_us = self._elementwise_us(t * (4 * h + 2 * inter))
-        return (gemm_us + attn_us + ew_us) * cfg.n_layers
+        return ((gemm_us + attn_us + ew_us) * cfg.n_layers
+                + self._prefill_collective_us(t))
 
     def step_us(self, plan: BatchPlan) -> float:
         """Price one scheduler iteration (prefill chunks + decodes)."""

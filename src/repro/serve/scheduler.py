@@ -99,6 +99,47 @@ class KVBudget:
                    bytes_per_token=kv_bytes_per_token(config, vq, bits),
                    overhead_bytes=overhead)
 
+    @staticmethod
+    def gpu_kv_capacity(spec, weight_bytes: float,
+                        reserve_fraction: float = 0.1) -> float:
+        """KV pool left on one GPU: DRAM minus margin minus weights.
+
+        Shared by :meth:`for_gpu` and the cluster layer's per-shard
+        budgets (:func:`repro.bench.cluster.replica_kv_budget`), so the
+        reserve semantics cannot drift between them.
+        """
+        if getattr(spec, "dram_bytes", 0.0) <= 0:
+            raise ValueError(
+                f"{getattr(spec, 'name', spec)!r} has no dram_bytes set; "
+                "pass an explicit capacity via for_model instead")
+        if not 0 <= reserve_fraction < 1:
+            raise ValueError("reserve_fraction must be in [0, 1)")
+        capacity = spec.dram_bytes * (1 - reserve_fraction) - weight_bytes
+        if capacity <= 0:
+            raise ValueError(
+                f"resident weights ({weight_bytes / 1e9:.1f} GB) do not "
+                f"leave KV room on {spec.name} ({spec.dram_gb:.0f} GB)")
+        return capacity
+
+    @classmethod
+    def for_gpu(cls, config: LlamaConfig, spec,
+                vq: Optional[VQConfig] = None,
+                bits: Optional[int] = None,
+                weight_bytes: Optional[float] = None,
+                reserve_fraction: float = 0.1) -> "KVBudget":
+        """Budget derived from a :class:`~repro.gpu.spec.GPUSpec`.
+
+        The KV pool is what remains of the chip's ``dram_bytes`` after
+        a ``reserve_fraction`` margin (activations, CUDA context,
+        fragmentation) and the resident model weights — FP16 weights
+        (``2 * param_count``) unless ``weight_bytes`` overrides, e.g.
+        for quantized weights or a tensor-parallel shard.
+        """
+        if weight_bytes is None:
+            weight_bytes = 2.0 * config.param_count
+        capacity = cls.gpu_kv_capacity(spec, weight_bytes, reserve_fraction)
+        return cls.for_model(config, capacity, vq=vq, bits=bits)
+
     @property
     def max_tokens(self) -> int:
         """Maximum tokens resident at once under this budget."""

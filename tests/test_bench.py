@@ -146,3 +146,88 @@ class TestServingBench:
         from repro.core.engine import ComputeEngine
         with pytest.raises(ValueError):
             make_cost_model(ComputeEngine(RTX4090), llama_7b(), "int3")
+
+    def test_spec_derived_budget(self):
+        from repro.bench.serving import make_kv_budget
+        cfg = llama_7b()
+        derived = make_kv_budget(cfg, "fp16", spec=RTX4090)
+        explicit = make_kv_budget(cfg, "fp16", 4e9)
+        assert derived.bytes_per_token == explicit.bytes_per_token
+        assert derived.capacity_bytes > explicit.capacity_bytes  # ~8 GB
+        with pytest.raises(ValueError):  # neither capacity nor spec
+            make_kv_budget(cfg, "fp16")
+
+    def test_make_trace_kinds(self):
+        from repro.bench.serving import make_trace
+        for kind in ("poisson", "bursty"):
+            trace = make_trace(kind, 8.0, 40, 256, 64, seed=1)
+            assert len(trace) == 40
+        assert make_trace("poisson", 8.0, 40, 256, 64, seed=1) == \
+            make_trace("poisson", 8.0, 40, 256, 64, seed=1)
+        with pytest.raises(ValueError):
+            make_trace("weibull", 8.0, 40, 256, 64)
+
+    def test_cli_runs_a_small_comparison(self, capsys):
+        from repro.bench.serving import main
+        rc = main(["--modes", "fp16", "--requests", "6", "--rate", "8",
+                   "--kv-gb", "2", "--prompt-mean", "64",
+                   "--output-mean", "16", "--trace", "bursty"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace: bursty" in out
+        assert "fp16" in out
+
+    def test_cli_rejects_unknown_mode(self):
+        from repro.bench.serving import main
+        with pytest.raises(SystemExit):
+            main(["--modes", "int3"])
+
+
+class TestClusterBench:
+    """Wiring of the fleet experiments (full runs live in
+    examples/cluster_serving.py; these stay on tiny shapes)."""
+
+    def test_replica_kv_budget_equal_hbm(self):
+        from repro.bench.cluster import replica_kv_budget
+        cfg = llama_7b()
+        fp16 = replica_kv_budget(cfg, "fp16", RTX4090)
+        cq4 = replica_kv_budget(cfg, "kv-cq-4", RTX4090)
+        assert fp16.capacity_bytes == pytest.approx(cq4.capacity_bytes)
+        assert cq4.max_tokens > 3.5 * fp16.max_tokens
+
+    def test_tp_replicas_gain_kv_headroom(self):
+        """Sharding frees weight memory and splits KV bytes, so a TP-2
+        replica holds more than 2x the tokens of one GPU."""
+        from repro.bench.cluster import replica_kv_budget
+        cfg = llama_7b()
+        single = replica_kv_budget(cfg, "fp16", RTX4090)
+        tp2 = replica_kv_budget(cfg, "fp16", RTX4090, tp_degree=2)
+        assert tp2.max_tokens > 2 * single.max_tokens
+
+    def test_make_replicas_are_fresh_and_identical(self):
+        from repro.bench.cluster import make_replicas
+        from repro.core.engine import ComputeEngine
+        from repro.llm.config import tiny_llama
+        cfg = tiny_llama()
+        engine = ComputeEngine(RTX4090)
+        reps = make_replicas(3, "fp16", spec=RTX4090.with_dram(1.0),
+                             config=cfg, engine=engine)
+        assert len(reps) == 3
+        assert len({id(r.scheduler) for r in reps}) == 3  # own schedulers
+        assert len({id(r.cost_model) for r in reps}) == 1  # shared pricing
+        assert all(r.scheduler.budget.max_tokens ==
+                   reps[0].scheduler.budget.max_tokens for r in reps)
+
+    def test_tp_scaling_table_structure(self):
+        from repro.bench.cluster import tp_scaling
+        from repro.cluster.interconnect import IDEAL_LINK
+        from repro.core.engine import ComputeEngine
+        from repro.llm.config import tiny_llama
+        result = tp_scaling(spec=RTX4090, config=tiny_llama(),
+                            degrees=(1, 2, 4), links=(IDEAL_LINK,),
+                            batch=4, context_tokens=256,
+                            engine=ComputeEngine(RTX4090))
+        assert result.column("tp") == [1, 2, 4]
+        speedups = result.column("speedup_vs_tp1")
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups[-1] > speedups[0]

@@ -1,0 +1,234 @@
+"""Fleet simulator, router-policy and SLO tests.
+
+Everything runs on the constant-cost stub so assertions are exact; the
+analytic integration is covered by ``tests/test_bench_experiments.py``
+and ``examples/cluster_serving.py``.
+"""
+
+import pytest
+
+from repro.cluster.fleet import (
+    SLO,
+    FleetSimulator,
+    Replica,
+    RouterPolicy,
+    make_policy,
+    size_fleet,
+)
+from repro.serve.requests import Request
+from repro.serve.scheduler import ContinuousBatchScheduler, KVBudget
+
+
+class ConstantCostModel:
+    """Stub: every iteration costs a fixed time."""
+
+    def __init__(self, step_us=1000.0):
+        self._us = step_us
+
+    def step_us(self, plan):
+        return self._us
+
+
+def _replicas(n, max_tokens=100_000, step_us=1000.0, token_budget=512,
+              max_seqs=16):
+    cost = ConstantCostModel(step_us)
+    return [
+        Replica(i, ContinuousBatchScheduler(
+            KVBudget(capacity_bytes=float(max_tokens), bytes_per_token=1.0),
+            token_budget=token_budget, max_seqs=max_seqs), cost)
+        for i in range(n)
+    ]
+
+
+def _trace(n, prompt=32, output=8, gap=0.0):
+    return [Request(req_id=i, arrival_s=i * gap, prompt_tokens=prompt,
+                    output_tokens=output) for i in range(n)]
+
+
+class TestSLO:
+    def test_met_by(self):
+        from repro.serve.simulator import RequestRecord
+        rec = RequestRecord(req_id=0, arrival_s=0.0, first_token_s=1.0,
+                            finished_s=3.0, prompt_tokens=10,
+                            output_tokens=5, queued_s=0.0)
+        assert SLO(ttft_s=2.0).met_by(rec)
+        assert not SLO(ttft_s=0.5).met_by(rec)
+        assert SLO(ttft_s=2.0, tpot_s=1.0).met_by(rec)  # tpot = 0.5
+        assert not SLO(ttft_s=2.0, tpot_s=0.1).met_by(rec)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLO(ttft_s=0.0)
+        with pytest.raises(ValueError):
+            SLO(ttft_s=1.0, tpot_s=0.0)
+        with pytest.raises(ValueError):
+            SLO(ttft_s=1.0, quantile=0.0)
+
+
+class TestRequestConservation:
+    """No request is lost or duplicated across replicas."""
+
+    @pytest.mark.parametrize("policy", ["round-robin", "jsq", "least-kv"])
+    def test_all_requests_complete_exactly_once(self, policy):
+        trace = _trace(30, gap=0.0007)
+        report = FleetSimulator(_replicas(3), policy=policy,
+                                name="unit").run(trace)
+        assert report.n_requests == 30 and report.n_rejected == 0
+        assert sorted(r.req_id for r in report.records) == list(range(30))
+        assert sorted(report.assignments) == list(range(30))
+        # Per-replica routed counts partition the trace.
+        assert sum(routed for routed, _, _ in report.replica_stats) == 30
+
+    def test_rejected_plus_completed_covers_the_trace(self):
+        trace = _trace(4, prompt=32, output=8)          # 40 tokens each
+        trace.append(Request(req_id=4, arrival_s=0.0, prompt_tokens=500,
+                             output_tokens=8))          # fits nowhere
+        report = FleetSimulator(_replicas(2, max_tokens=50),
+                                policy="jsq", name="unit").run(trace)
+        assert report.n_requests == 4
+        assert report.n_rejected == 1
+        assert 4 not in report.assignments
+        assert "rejected" in report.summary()
+
+
+class TestPolicies:
+    def test_round_robin_cycles(self):
+        trace = _trace(6)
+        report = FleetSimulator(_replicas(3), policy="round-robin",
+                                name="unit").run(trace)
+        assert [report.assignments[i] for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_jsq_prefers_the_idle_replica(self):
+        replicas = _replicas(2)
+        # Preload replica 0 so its queue is deeper at t=0.
+        replicas[0].submit(Request(req_id=99, arrival_s=0.0,
+                                   prompt_tokens=64, output_tokens=32))
+        trace = _trace(2)
+        report = FleetSimulator(replicas, policy="jsq",
+                                name="unit").run(trace)
+        assert report.assignments[0] == 1
+        # After the second arrival both queues tie at 1 -> lowest index.
+        assert report.assignments[1] == 0
+
+    def test_least_kv_sees_queued_demand(self):
+        replicas = _replicas(2, max_tokens=1000)
+        big = Request(req_id=99, arrival_s=0.0, prompt_tokens=400,
+                      output_tokens=100)
+        replicas[0].submit(big)
+        assert replicas[0].kv_pressure == pytest.approx(0.5)
+        assert replicas[1].kv_pressure == 0.0
+        report = FleetSimulator(replicas, policy="least-kv",
+                                name="unit").run(_trace(1))
+        assert report.assignments[0] == 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(KeyError):
+            make_policy("random")
+
+    def test_policy_instance_passes_through(self):
+        policy = make_policy("jsq")
+        assert make_policy(policy) is policy
+
+    def test_bad_policy_choice_is_caught(self):
+        class Broken(RouterPolicy):
+            name = "broken"
+
+            def choose(self, request, replicas, candidates):
+                return len(replicas) + 7
+
+        with pytest.raises(ValueError):
+            FleetSimulator(_replicas(2), policy=Broken(),
+                           name="unit").run(_trace(1))
+
+
+class TestFleetBehaviour:
+    def test_more_replicas_cut_queueing(self):
+        """With one-sequence replicas, TTFT scales down with fleet size."""
+        trace = _trace(8, prompt=32, output=8)  # simultaneous arrivals
+        reports = {
+            n: FleetSimulator(
+                _replicas(n, max_tokens=40), policy="jsq",
+                name=f"n{n}").run(trace)
+            for n in (1, 2, 4)
+        }
+        ttfts = [reports[n].ttft_s(95) for n in (1, 2, 4)]
+        assert ttfts[0] > ttfts[1] > ttfts[2]
+        for rep in reports.values():
+            assert rep.n_requests == 8
+
+    def test_single_replica_matches_single_engine_semantics(self):
+        """A 1-replica fleet reproduces ServingSimulator's exact timing."""
+        report = FleetSimulator(_replicas(1), policy="round-robin",
+                                name="unit").run(_trace(1, prompt=100,
+                                                        output=5))
+        rec = report.records[0]
+        assert rec.ttft_s == pytest.approx(0.001)
+        assert rec.latency_s == pytest.approx(0.005)
+        assert report.makespan_s == pytest.approx(0.005)
+
+    def test_goodput_and_attainment(self):
+        """8 simultaneous requests on one single-sequence replica: each
+        takes 8 iterations, so TTFTs are 1, 9, 17, ... ms."""
+        trace = _trace(8, prompt=32, output=8)
+        report = FleetSimulator(_replicas(1, max_tokens=40),
+                                policy="jsq", name="unit").run(trace)
+        slo = SLO(ttft_s=0.020)  # the first three requests meet it
+        assert report.slo_attainment(slo) == pytest.approx(3 / 8)
+        assert report.goodput_rps(slo) == pytest.approx(
+            3 / report.makespan_s)
+        assert not report.meets(slo)
+        assert report.meets(SLO(ttft_s=1.0))
+
+    def test_rejections_fail_compliance(self):
+        trace = [Request(0, 0.0, 32, 8), Request(1, 0.0, 500, 8)]
+        report = FleetSimulator(_replicas(1, max_tokens=50),
+                                policy="jsq", name="unit").run(trace)
+        assert not report.meets(SLO(ttft_s=100.0))
+        assert report.slo_attainment(SLO(ttft_s=100.0)) == pytest.approx(0.5)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            FleetSimulator(_replicas(1), name="unit").run([])
+
+    def test_no_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            FleetSimulator([], name="unit")
+
+    def test_iteration_guard_trips(self):
+        with pytest.raises(RuntimeError):
+            FleetSimulator(_replicas(1), name="unit").run(
+                _trace(10), max_iterations=3)
+
+
+class TestSizeFleet:
+    def test_finds_the_minimal_compliant_fleet(self):
+        """One-sequence replicas, 8 simultaneous arrivals: with 4
+        replicas every TTFT is 1 or 9 ms (p95 = 9 ms); with 3, the
+        third-in-queue requests push p95 to 17 ms.  A 10 ms SLO
+        therefore needs exactly 4."""
+        trace = _trace(8, prompt=32, output=8)
+        slo = SLO(ttft_s=0.010)
+
+        def factory(n):
+            return _replicas(n, max_tokens=40)
+
+        n, report = size_fleet(factory, trace, slo,
+                               policy="jsq", max_replicas=8)
+        assert n == 4
+        assert report.n_replicas == 4 and report.meets(slo)
+        # One fewer replica must miss (minimality).
+        miss = FleetSimulator(factory(3), policy="jsq",
+                              name="unit").run(trace)
+        assert not miss.meets(slo)
+
+    def test_returns_none_when_even_max_misses(self):
+        trace = _trace(8, prompt=32, output=8)
+        n, report = size_fleet(lambda n: _replicas(n, max_tokens=40),
+                               trace, SLO(ttft_s=1e-6), max_replicas=2)
+        assert n is None
+        assert report.n_replicas == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            size_fleet(lambda n: _replicas(n), _trace(1), SLO(ttft_s=1.0),
+                       max_replicas=0)

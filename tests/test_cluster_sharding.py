@@ -1,0 +1,175 @@
+"""Tensor-parallel plan and sharded cost model tests."""
+
+import pytest
+
+from repro.cluster.costs import ShardedStepCostModel
+from repro.cluster.interconnect import IDEAL_LINK, NVLINK3, PCIE4
+from repro.cluster.sharding import TensorParallelPlan
+from repro.core.engine import ComputeEngine
+from repro.gpu.spec import RTX4090
+from repro.kernels.attention import AttentionShape
+from repro.kernels.gemm import GemmShape
+from repro.llm.config import llama_7b, tiny_llama
+from repro.llm.model import decode_operator_shapes
+from repro.serve.costs import StepCostModel
+from repro.serve.scheduler import KVBudget, kv_codebook_bytes
+from repro.vq.algorithms import make_config
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return ComputeEngine(RTX4090)
+
+
+class TestPlanValidation:
+    def test_degree_must_divide_model_dims(self):
+        cfg = llama_7b()  # 32 heads, intermediate 11008, vocab 32000
+        TensorParallelPlan(cfg, 8)  # divides everything
+        with pytest.raises(ValueError):
+            TensorParallelPlan(cfg, 3)
+        with pytest.raises(ValueError):
+            TensorParallelPlan(cfg, 0)
+
+    def test_unknown_projection_rejected(self):
+        plan = TensorParallelPlan(llama_7b(), 2)
+        with pytest.raises(ValueError):
+            plan.shard_gemm("mystery_proj", GemmShape(m=1, n=64, k=64))
+
+    def test_tp1_passthrough(self):
+        plan = TensorParallelPlan(llama_7b(), 1)
+        g = GemmShape(m=4, n=4096, k=4096)
+        a = AttentionShape(batch=4, heads=32, seq_len=512, head_dim=128)
+        assert plan.shard_gemm("qkv_proj", g) == g
+        assert plan.shard_attention(a) == a
+        assert plan.decode_collective_us(16) == 0.0
+        assert plan.prefill_collective_us(512) == 0.0
+
+
+class TestFlopConservation:
+    """Per-shard work times tp_degree equals the unsharded work."""
+
+    @pytest.mark.parametrize("tp", [2, 4, 8])
+    def test_decode_ledger_conserves_flops(self, tp):
+        cfg = llama_7b()
+        plan = TensorParallelPlan(cfg, tp)
+        for op in decode_operator_shapes(cfg, batch=8, seq_len=512):
+            if op.kind == "gemv":
+                full = GemmShape(m=op.m, n=op.n, k=op.k)
+                shard = plan.shard_gemm(op.name, full)
+                assert shard.flops * tp == full.flops, op.name
+            elif op.kind == "attention":
+                full = AttentionShape(batch=op.batch, heads=op.heads,
+                                      seq_len=op.seq_len,
+                                      head_dim=op.head_dim)
+                shard = plan.shard_attention(full)
+                assert shard.flops * tp == full.flops
+
+    @pytest.mark.parametrize("tp", [2, 4])
+    def test_prefill_gemms_conserve_flops(self, tp):
+        cfg = llama_7b()
+        plan = TensorParallelPlan(cfg, tp)
+        h, inter = cfg.hidden, cfg.intermediate
+        for name, n, k in (("qkv_proj", 3 * h, h), ("o_proj", h, h),
+                           ("gate_up_proj", 2 * inter, h),
+                           ("down_proj", h, inter)):
+            full = GemmShape(m=256, n=n, k=k)
+            shard = plan.shard_gemm(name, full)
+            assert shard.flops * tp == full.flops, name
+
+    def test_row_and_column_parallel_split_different_dims(self):
+        plan = TensorParallelPlan(llama_7b(), 4)
+        g = GemmShape(m=2, n=4096, k=4096)
+        col = plan.shard_gemm("qkv_proj", g)
+        row = plan.shard_gemm("o_proj", g)
+        assert col.n == g.n // 4 and col.k == g.k
+        assert row.k == g.k // 4 and row.n == g.n
+
+
+class TestCollectiveAccounting:
+    def test_decode_collectives_monotone_in_degree(self):
+        cfg = llama_7b()
+        costs = [TensorParallelPlan(cfg, tp, NVLINK3).decode_collective_us(16)
+                 for tp in (1, 2, 4, 8)]
+        assert costs == sorted(costs)
+        assert costs[0] == 0.0 and costs[-1] > 0.0
+
+    def test_decode_collectives_monotone_in_batch(self):
+        plan = TensorParallelPlan(llama_7b(), 4, NVLINK3)
+        costs = [plan.decode_collective_us(b) for b in (1, 8, 64)]
+        assert costs == sorted(costs) and costs[0] < costs[-1]
+
+    def test_prefill_skips_the_lm_head_gather(self):
+        """Per token, prefill communicates less than decode (no logits)."""
+        plan = TensorParallelPlan(llama_7b(), 4, NVLINK3)
+        assert (plan.prefill_collective_us(16)
+                < plan.decode_collective_us(16))
+
+
+class TestKVBudgetSharding:
+    def test_kv_bytes_shard_but_codebooks_replicate(self):
+        cfg = llama_7b()
+        vq = make_config("cq-4")
+        single = KVBudget.for_model(cfg, 8e9, vq=vq)
+        for tp in (2, 4):
+            plan = TensorParallelPlan(cfg, tp)
+            shard = plan.kv_budget(8e9, vq=vq)
+            assert shard.bytes_per_token == pytest.approx(
+                single.bytes_per_token / tp)
+            # Replicated codebooks: the per-GPU overhead does not shrink.
+            assert shard.overhead_bytes == kv_codebook_bytes(cfg, vq)
+            assert shard.max_tokens > single.max_tokens
+
+    def test_weight_bytes_shrink_with_degree(self):
+        cfg = llama_7b()
+        sizes = [TensorParallelPlan(cfg, tp).weight_bytes_per_gpu()
+                 for tp in (1, 2, 4, 8)]
+        assert sizes == sorted(sizes, reverse=True)
+        # tp=1 matches the full FP16 footprint to within the replicated
+        # embedding/norm bookkeeping.
+        assert sizes[0] == pytest.approx(2.0 * cfg.param_count, rel=0.01)
+
+
+class TestShardedStepCostModel:
+    def test_tp1_equals_base_model_exactly(self, engine):
+        cfg = llama_7b()
+        base = StepCostModel(engine, cfg, seq_bucket=512)
+        plan = TensorParallelPlan(cfg, 1, PCIE4)
+        sharded = ShardedStepCostModel(engine, cfg, plan, seq_bucket=512)
+        for batch, ctx in ((1, 128), (16, 1024), (64, 4096)):
+            assert sharded.decode_step_us(batch, ctx) == pytest.approx(
+                base.decode_step_us(batch, ctx), rel=1e-12)
+        for tokens, ctx in ((256, 0), (512, 1024)):
+            assert sharded.prefill_us(tokens, ctx) == pytest.approx(
+                base.prefill_us(tokens, ctx), rel=1e-12)
+
+    def test_free_interconnect_makes_tp_strictly_faster(self, engine):
+        """Over an ideal link, sharding can only shrink the step."""
+        cfg = llama_7b()
+        costs = []
+        for tp in (1, 2, 4):
+            plan = TensorParallelPlan(cfg, tp, IDEAL_LINK)
+            model = ShardedStepCostModel(engine, cfg, plan, seq_bucket=512)
+            costs.append(model.decode_step_us(16, 1024))
+        assert costs[0] > costs[1] > costs[2]
+
+    def test_pcie_collectives_erode_the_gain(self, engine):
+        """The same sharding helps less over a slower interconnect."""
+        cfg = llama_7b()
+
+        def step(link):
+            plan = TensorParallelPlan(cfg, 8, link)
+            return ShardedStepCostModel(
+                engine, cfg, plan, seq_bucket=512).decode_step_us(16, 1024)
+
+        assert step(NVLINK3) < step(PCIE4)
+
+    def test_config_mismatch_rejected(self, engine):
+        plan = TensorParallelPlan(llama_7b(), 2)
+        with pytest.raises(ValueError):
+            ShardedStepCostModel(engine, tiny_llama(), plan)
+
+    def test_zero_work_is_free(self, engine):
+        plan = TensorParallelPlan(llama_7b(), 2, NVLINK3)
+        model = ShardedStepCostModel(engine, llama_7b(), plan)
+        assert model.decode_step_us(0, 128.0) == 0.0
+        assert model.prefill_us(0) == 0.0

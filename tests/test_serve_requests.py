@@ -84,6 +84,49 @@ class TestBurstyTrace:
         cv = gaps.std() / gaps.mean()
         assert cv > 1.1
 
+    def test_long_run_rate_matches_requested(self):
+        """The calm/burst phase rates are balanced so the long-run mean
+        inter-arrival time is 1/rate_rps."""
+        for seed in (0, 1, 2):
+            trace = bursty_trace(5.0, 4000, seed=seed)
+            stats = trace_stats(trace)
+            assert stats["offered_rps"] == pytest.approx(5.0, rel=0.1)
+            gaps = np.diff([r.arrival_s for r in trace])
+            assert gaps.mean() == pytest.approx(1 / 5.0, rel=0.1)
+
+    def test_burst_factor_one_degenerates_to_poisson(self):
+        """With equal phase rates the MMPP *is* a Poisson process: the
+        phase structure must not distort the rate or the CV."""
+        trace = bursty_trace(5.0, 4000, burst_factor=1.0, seed=0)
+        stats = trace_stats(trace)
+        assert stats["offered_rps"] == pytest.approx(5.0, rel=0.1)
+        gaps = np.diff([r.arrival_s for r in trace])
+        cv = gaps.std() / gaps.mean()
+        assert cv == pytest.approx(1.0, abs=0.1)
+
+    def test_burst_phase_rate_scales_with_factor(self):
+        """Windowed peak rates reflect the burst phase: a high burst
+        factor must produce windows far above the mean rate."""
+        rate, factor = 5.0, 8.0
+        trace = bursty_trace(rate, 4000, burst_factor=factor,
+                             mean_phase_s=20.0, seed=0)
+        arrivals = np.array([r.arrival_s for r in trace])
+        counts, _ = np.histogram(
+            arrivals, bins=np.arange(0.0, arrivals[-1], 5.0))
+        peak_rate = counts.max() / 5.0
+        calm_rate = rate / (1 + 0.2 * (factor - 1))
+        # The fastest window should approach the burst rate, far above
+        # what a calm-phase Poisson window would produce.
+        assert peak_rate > 3 * calm_rate
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bursty_trace(0.0, 10)
+        with pytest.raises(ValueError):
+            bursty_trace(5.0, 10, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            bursty_trace(5.0, 10, burst_fraction=1.0)
+
 
 class TestReplayedTrace:
     def test_rebases_and_scales_time(self):

@@ -62,6 +62,33 @@ class TestKVAccounting:
             KVBudget(capacity_bytes=10.0, bytes_per_token=1.0,
                      overhead_bytes=10.0)
 
+    def test_budget_derives_from_gpu_spec(self):
+        from repro.gpu.spec import RTX4090
+        cfg = llama_7b()
+        budget = KVBudget.for_gpu(cfg, RTX4090)
+        # 90% of 24 GB minus ~13.5 GB of FP16 weights leaves ~8 GB.
+        expected = RTX4090.dram_bytes * 0.9 - 2.0 * cfg.param_count
+        assert budget.capacity_bytes == pytest.approx(expected)
+        assert budget.max_tokens > 10_000
+        # Compression multiplies the token count at the same capacity.
+        cq4 = KVBudget.for_gpu(cfg, RTX4090, vq=make_config("cq-4"))
+        assert cq4.max_tokens > 3.5 * budget.max_tokens
+
+    def test_budget_for_gpu_validation(self):
+        from repro.gpu.spec import RTX4090
+        cfg = llama_7b()
+        with pytest.raises(ValueError):  # no dram_bytes on the spec
+            KVBudget.for_gpu(cfg, RTX4090.with_dram(0.0))
+        with pytest.raises(ValueError):  # weights exceed the chip
+            KVBudget.for_gpu(cfg, RTX4090.with_dram(10.0))
+        with pytest.raises(ValueError):
+            KVBudget.for_gpu(cfg, RTX4090, reserve_fraction=1.0)
+        # Quantized weights free memory for the cache.
+        int4 = KVBudget.for_gpu(cfg, RTX4090,
+                                weight_bytes=0.5 * cfg.param_count)
+        assert int4.capacity_bytes > KVBudget.for_gpu(
+            cfg, RTX4090).capacity_bytes
+
 
 class TestScheduling:
     def test_prefill_then_decode_lifecycle(self):

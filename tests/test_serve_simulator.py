@@ -44,11 +44,26 @@ class TestPercentile:
         assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
         assert percentile([1.0, 2.0, 3.0, 4.0], 100) == 4.0
 
+    def test_extreme_quantiles_are_min_and_max(self):
+        values = [7.0, 1.0, 4.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_single_element_is_every_quantile(self):
+        for q in (0, 37.5, 50, 100):
+            assert percentile([3.25], q) == 3.25
+
+    def test_accepts_any_sequence_type(self):
+        assert percentile((2.0, 4.0), 50) == pytest.approx(3.0)
+        assert percentile(iter([2.0, 4.0]), 50) == pytest.approx(3.0)
+
     def test_rejects_bad_input(self):
         with pytest.raises(ValueError):
             percentile([], 50)
         with pytest.raises(ValueError):
             percentile([1.0], 150)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
 
 
 class TestBucketing:
