@@ -1,0 +1,93 @@
+"""Paged KV allocation vs worst-case reservations at equal HBM.
+
+The PR-1 serving comparison admits a request only when its *worst-case*
+KV footprint (prompt + max output tokens) fits the budget — simple, but
+it leaves the cache admission-bound: the budget is ~100% *reserved*
+while far less is ever actually resident.  Real engines (vLLM-style
+paged attention) allocate KV in fixed-size blocks as prefill/decode
+advance and preempt-by-recompute when the pool runs dry, so occupancy
+— not reservations — is what binds.
+
+This example runs the PR-1 Llama-7B scenario (RTX 4090, CQ-4 KV cache)
+under both admission policies at the same HBM budget and checks the
+claims:
+
+- at equal HBM, ``admission="paged"`` reaches strictly higher peak KV
+  *occupancy* (bytes actually resident) than ``admission="reserve"``;
+- under an overloaded trace on a tighter pool, at least one recompute
+  preemption fires and every request still completes (recompute loses
+  no work product, only time).
+
+Run with::
+
+    PYTHONPATH=src python examples/paged_serving.py
+"""
+
+from repro.bench.serving import simulate_mode
+from repro.core.engine import ComputeEngine
+from repro.gpu.spec import RTX4090
+from repro.llm.config import llama_7b
+
+#: The PR-1 seed scenario: 64 requests at 16 req/s offered, ~384-token
+#: prompts, ~96-token outputs, 4 GB of HBM for the KV cache.
+WORKLOAD = dict(kv_hbm_gb=4.0, rate_rps=16.0, n_requests=64,
+                prompt_mean=384, output_mean=96, seed=0)
+
+#: Overload variant: double the offered rate on a 1.5 GB pool with a
+#: high sequence cap, so paged admission genuinely exhausts the blocks.
+OVERLOAD = dict(kv_hbm_gb=1.5, rate_rps=32.0, n_requests=64,
+                prompt_mean=384, output_mean=96, seed=0, max_seqs=128)
+
+MODE = "kv-cq-4"
+
+
+def main():
+    spec, config = RTX4090, llama_7b()
+    engine = ComputeEngine(spec)
+
+    print(f"{config.name} on {spec.name}, {MODE} KV cache, "
+          f"{WORKLOAD['kv_hbm_gb']:.0f} GB KV budget, "
+          f"{WORKLOAD['rate_rps']:.0f} req/s offered\n")
+
+    reports = {}
+    for admission in ("reserve", "paged"):
+        rep = simulate_mode(MODE, spec=spec, config=config, engine=engine,
+                            admission=admission, **WORKLOAD)
+        reports[admission] = rep
+        print(rep.summary())
+        print()
+
+    res, pag = reports["reserve"], reports["paged"]
+    assert res.n_requests == pag.n_requests == WORKLOAD["n_requests"]
+    print(f"reserve admission holds {res.peak_kv_utilization:.0%} of the "
+          f"budget *reserved* but only {res.peak_kv_occupancy:.0%} ever "
+          f"resident; paged admission packs blocks to "
+          f"{pag.peak_kv_occupancy:.0%} of the same pool.")
+    assert pag.peak_kv_occupancy > res.peak_kv_occupancy, \
+        "paged admission should reach higher peak KV occupancy"
+
+    print(f"\n--- overload: {OVERLOAD['kv_hbm_gb']:.1f} GB pool at "
+          f"{OVERLOAD['rate_rps']:.0f} req/s ---\n")
+    over = {}
+    for admission in ("reserve", "paged"):
+        rep = simulate_mode(MODE, spec=spec, config=config, engine=engine,
+                            admission=admission, **OVERLOAD)
+        over[admission] = rep
+        print(rep.summary())
+        print()
+
+    o_res, o_pag = over["reserve"], over["paged"]
+    assert o_pag.n_preempted >= 1, \
+        "the overloaded trace should trigger recompute preemption"
+    assert o_pag.n_requests == OVERLOAD["n_requests"], \
+        "preemption must lose no requests"
+    assert o_pag.peak_kv_occupancy > o_res.peak_kv_occupancy
+    print(f"under overload the paged pool runs occupancy-bound "
+          f"({o_pag.peak_kv_occupancy:.0%} peak vs "
+          f"{o_res.peak_kv_occupancy:.0%} for reserve), resolving "
+          f"pressure with {o_pag.n_preempted} recompute preemptions "
+          f"while every request completes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -88,12 +88,18 @@ def make_replicas(
     token_budget: int = 2048,
     max_seqs: int = 128,
     reserve_fraction: float = 0.1,
+    admission: str = "reserve",
+    block_tokens: int = 16,
 ) -> list:
     """``n`` identical fresh replicas of one serving mode.
 
     Each replica is a ``tp_degree``-GPU group (a single GPU by
     default).  The cost model and budget template are shared — both
     are read-only — while every replica gets its own scheduler.
+    ``admission="paged"`` gives each replica a paged block pool
+    (``block_tokens``-token blocks) with recompute preemption, and the
+    ``least-kv`` router then balances on observed block usage instead
+    of worst-case reservations.
     """
     config = config or llama_7b()
     engine = engine or ComputeEngine(spec)
@@ -107,7 +113,10 @@ def make_replicas(
     return [
         Replica(i, ContinuousBatchScheduler(budget,
                                             token_budget=token_budget,
-                                            max_seqs=max_seqs), cost)
+                                            max_seqs=max_seqs,
+                                            admission=admission,
+                                            block_tokens=block_tokens),
+                cost)
         for i in range(n)
     ]
 

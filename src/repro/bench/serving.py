@@ -45,7 +45,11 @@ from repro.serve.requests import (
     poisson_trace,
     trace_stats,
 )
-from repro.serve.scheduler import ContinuousBatchScheduler, KVBudget
+from repro.serve.scheduler import (
+    ADMISSION_POLICIES,
+    ContinuousBatchScheduler,
+    KVBudget,
+)
 from repro.serve.simulator import ServingReport, ServingSimulator
 from repro.vq.algorithms import make_config
 
@@ -155,12 +159,16 @@ def simulate_mode(
     seed: int = 0,
     trace_kind: str = "poisson",
     engine: Optional[ComputeEngine] = None,
+    admission: str = "reserve",
+    block_tokens: int = 16,
 ) -> ServingReport:
     """Simulate one serving mode on an open-loop trace.
 
     ``kv_hbm_gb=None`` derives the KV allowance from the GPU spec's
     DRAM capacity (minus FP16 weights and a reserve margin) instead of
-    a fixed byte count.
+    a fixed byte count.  ``admission`` selects worst-case reservations
+    (``"reserve"``) or paged block allocation with recompute preemption
+    (``"paged"``, pool carved into ``block_tokens``-token blocks).
     """
     config = config or llama_7b()
     engine = engine or ComputeEngine(spec)
@@ -171,9 +179,12 @@ def simulate_mode(
         capacity_bytes=None if kv_hbm_gb is None else kv_hbm_gb * 1e9,
         spec=spec)
     scheduler = ContinuousBatchScheduler(budget, token_budget=token_budget,
-                                         max_seqs=max_seqs)
+                                         max_seqs=max_seqs,
+                                         admission=admission,
+                                         block_tokens=block_tokens)
+    name = mode if admission == "reserve" else f"{mode}/{admission}"
     cost_model = make_cost_model(engine, config, mode)
-    return ServingSimulator(scheduler, cost_model, name=mode).run(trace)
+    return ServingSimulator(scheduler, cost_model, name=name).run(trace)
 
 
 def serving_comparison(
@@ -218,6 +229,57 @@ def serving_comparison(
     return result
 
 
+def admission_comparison(
+    spec: GPUSpec = RTX4090,
+    config: Optional[LlamaConfig] = None,
+    modes: Sequence[str] = ("fp16", "kv-cq-4", "kv-cq-2"),
+    admissions: Sequence[str] = ("reserve", "paged"),
+    engine: Optional[ComputeEngine] = None,
+    reports: Optional[dict] = None,
+    **kwargs,
+) -> ExperimentResult:
+    """Reserve vs paged admission per compression mode, equal KV HBM.
+
+    The comparison the paging subsystem exists for: worst-case
+    reservations leave the cache *admission-bound* (peak occupancy well
+    below the pool), while paged allocation runs it *occupancy-bound*
+    (blocks fill the pool; pressure resolves by recompute preemption).
+    Rows are (mode, admission) pairs keyed ``mode/admission`` in
+    ``reports``; extra keyword arguments go to :func:`simulate_mode`.
+    """
+    config = config or llama_7b()
+    engine = engine or ComputeEngine(spec)
+    for adm in admissions:
+        if adm not in ADMISSION_POLICIES:
+            raise ValueError(f"unknown admission policy {adm!r}; "
+                             f"expected one of {ADMISSION_POLICIES}")
+    result = ExperimentResult(
+        experiment_id="serving_admission",
+        title=f"Reserve vs paged KV admission on {spec.name} "
+              f"({config.name}, equal KV HBM budget)",
+        columns=("mode", "admission", "req/s", "ttft_p50_ms",
+                 "peak_seqs", "peak_kv_occ", "preemptions"),
+    )
+    reports = reports if reports is not None else {}
+    for mode in modes:
+        for adm in admissions:
+            rep = simulate_mode(mode, spec=spec, config=config,
+                                engine=engine, admission=adm, **kwargs)
+            reports[f"{mode}/{adm}"] = rep
+            result.add_row(mode, adm, rep.throughput_rps,
+                           rep.ttft_s(50) * 1e3, rep.peak_seqs,
+                           rep.peak_kv_occupancy, rep.n_preempted)
+        if {"reserve", "paged"} <= set(admissions):
+            res = reports[f"{mode}/reserve"]
+            pag = reports[f"{mode}/paged"]
+            result.notes.append(
+                f"{mode}: paged admission lifts peak KV occupancy "
+                f"{res.peak_kv_occupancy:.0%} -> "
+                f"{pag.peak_kv_occupancy:.0%} "
+                f"({pag.n_preempted} preemptions)")
+    return result
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point: ``python -m repro.bench.serving``."""
     parser = argparse.ArgumentParser(
@@ -248,6 +310,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="max tokens per scheduler iteration")
     parser.add_argument("--max-seqs", type=int, default=64,
                         help="max concurrently admitted sequences")
+    parser.add_argument("--admission", nargs="+", default=["reserve"],
+                        choices=list(ADMISSION_POLICIES), metavar="POLICY",
+                        help="KV admission policies to run "
+                             f"{ADMISSION_POLICIES}; naming more than one "
+                             "switches to the reserve-vs-paged comparison "
+                             "table")
+    parser.add_argument("--block-tokens", type=int, default=16,
+                        help="token slots per KV block under paged "
+                             "admission")
     parser.add_argument("--seed", type=int, default=0,
                         help="trace RNG seed")
     parser.add_argument("--verbose", action="store_true",
@@ -262,6 +333,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prompt_mean=args.prompt_mean, output_mean=args.output_mean,
         token_budget=args.token_budget, max_seqs=args.max_seqs,
         seed=args.seed, trace_kind=args.trace,
+        block_tokens=args.block_tokens,
     )
     stats = trace_stats(make_trace(args.trace, args.rate, args.requests,
                                    args.prompt_mean, args.output_mean,
@@ -271,8 +343,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"mean prompt {stats['mean_prompt_tokens']:.0f} / "
           f"output {stats['mean_output_tokens']:.0f} tokens")
     reports: dict = {}
-    table = serving_comparison(spec=spec, config=config, engine=engine,
-                               modes=args.modes, reports=reports, **workload)
+    if len(args.admission) > 1:
+        table = admission_comparison(spec=spec, config=config,
+                                     engine=engine, modes=args.modes,
+                                     admissions=args.admission,
+                                     reports=reports, **workload)
+    else:
+        table = serving_comparison(spec=spec, config=config, engine=engine,
+                                   modes=args.modes, reports=reports,
+                                   admission=args.admission[0], **workload)
     if args.verbose:
         for rep in reports.values():
             print()

@@ -59,3 +59,6 @@ class ShardedStepCostModel(StepCostModel):
 
     def _prefill_collective_us(self, tokens: int) -> float:
         return self.plan.prefill_collective_us(tokens)
+
+    def _sample_collective_us(self, batch: int) -> float:
+        return self.plan.sample_collective_us(batch)

@@ -95,21 +95,28 @@ class Replica:
 
     @property
     def queue_depth(self) -> int:
-        """Sequences on this replica: queued plus running."""
+        """Sequences on this replica: queued plus running.
+
+        Preempted sequences awaiting re-admission count as queued —
+        each carries re-prefill work, so a paged replica mid-thrash
+        must not look idle to the ``jsq`` router.
+        """
         s = self.scheduler
-        return len(s.waiting) + len(s.running)
+        return len(s.waiting) + len(s.preempted) + len(s.running)
 
     @property
     def kv_pressure(self) -> float:
-        """Worst-case KV demand over budget, counting the queue.
+        """Near-term KV demand over budget, counting the queue.
 
-        Unlike :attr:`~repro.serve.scheduler.ContinuousBatchScheduler.kv_utilization`
-        this includes *waiting* requests' reservations-to-be, so a
-        router sees pressure build before admission does.
+        Delegates to
+        :attr:`~repro.serve.scheduler.ContinuousBatchScheduler.kv_pressure`:
+        worst-case reservations-to-be under reserve admission, but
+        *observed block usage* plus queued prompts' blocks under paged
+        admission — a paged replica that has packed many short-context
+        sequences reports the blocks it actually holds, not the
+        worst-case footprint it never allocated.
         """
-        s = self.scheduler
-        demand = s.reserved_tokens + sum(r.total_tokens for r in s.waiting)
-        return demand / max(1, s.budget.max_tokens)
+        return self.scheduler.kv_pressure
 
     def submit(self, request: Request) -> None:
         """Route one request here (arrival may be later than the clock)."""
@@ -121,7 +128,9 @@ class Replica:
         """Run one scheduler iteration and advance the clock."""
         plan = self.scheduler.schedule(self.now_s)
         if plan.empty:  # pragma: no cover - has_work implies a plan
-            return
+            # Fail loudly: returning would spin advance_to/run forever.
+            raise RuntimeError(f"replica {self.replica_id} made no "
+                               "progress with work pending")
         self.iterations += 1
         self.now_s += self.cost_model.step_us(plan) / 1e6
         self.peak_kv = max(self.peak_kv, self.scheduler.kv_utilization)
@@ -221,9 +230,16 @@ class FleetReport:
     #: req_id -> replica index, for every routed request.
     assignments: Dict[int, int]
     makespan_s: float
-    #: Per-replica (requests routed, iterations run, peak KV utilization).
+    #: Per-replica (requests routed, iterations run, peak KV
+    #: utilization, recompute preemptions).
     replica_stats: List[tuple] = field(default_factory=list)
     n_rejected: int = 0
+
+    @property
+    def n_preempted(self) -> int:
+        """Recompute preemptions across all replicas (paged admission)."""
+        return sum(stats[3] for stats in self.replica_stats
+                   if len(stats) > 3)
 
     @property
     def n_requests(self) -> int:
@@ -295,9 +311,13 @@ class FleetReport:
             f"  latency    : p50 {self.latency_s(50):6.2f} s, "
             f"p95 {self.latency_s(95):6.2f} s",
         ]
-        for rid, (routed, iters, peak) in enumerate(self.replica_stats):
-            lines.append(f"  replica {rid}  : {routed:4d} requests, "
-                         f"{iters:6d} iterations, peak KV {peak:.0%}")
+        for rid, (routed, iters, peak, *rest) in enumerate(
+                self.replica_stats):
+            line = (f"  replica {rid}  : {routed:4d} requests, "
+                    f"{iters:6d} iterations, peak KV {peak:.0%}")
+            if rest and rest[0]:
+                line += f", {rest[0]} preemptions"
+            lines.append(line)
         if self.n_rejected:
             lines.append(f"  rejected   : {self.n_rejected} requests "
                          "exceeded every replica's KV budget")
@@ -333,7 +353,7 @@ class FleetSimulator:
             for rep in replicas:
                 rep.advance_to(req.arrival_s)
             candidates = [i for i, rep in enumerate(replicas)
-                          if req.total_tokens <= rep.scheduler.budget.max_tokens]
+                          if rep.scheduler.fits(req)]
             if not candidates:
                 rejected.append(req)
                 continue
@@ -374,7 +394,8 @@ class FleetSimulator:
             records=records,
             assignments=assignments,
             makespan_s=max(rep.now_s for rep in replicas),
-            replica_stats=[(rep.n_submitted, rep.iterations, rep.peak_kv)
+            replica_stats=[(rep.n_submitted, rep.iterations, rep.peak_kv,
+                            rep.scheduler.n_preemptions)
                            for rep in replicas],
             n_rejected=len(rejected),
         )

@@ -138,9 +138,19 @@ class TensorParallelPlan:
 
         The LM head does not run during prefill (matching
         :meth:`repro.serve.costs.StepCostModel.prefill_us`), so this is
-        the per-layer term only.
+        the per-layer term only — the prompt-completing iteration's
+        logits all-gather is :meth:`sample_collective_us`.
         """
         return self.config.n_layers * self.layer_collective_us(new_tokens)
+
+    def sample_collective_us(self, batch: int) -> float:
+        """Logits all-gather for sampling ``batch`` first tokens.
+
+        The column-parallel LM head of prompt-completing prefills needs
+        the same full-vocab all-gather a decode step pays (matching
+        :meth:`repro.serve.costs.StepCostModel.first_token_us`).
+        """
+        return self.allgather_us(batch * self.config.vocab * _FP16)
 
     # -- memory accounting ---------------------------------------------
     def weight_bytes_per_gpu(self) -> float:

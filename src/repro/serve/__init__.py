@@ -9,9 +9,14 @@ budget:
 - :mod:`repro.serve.requests` — request traces (Poisson, bursty MMPP,
   replay) with heavy-tailed prompt/output length distributions;
 - :mod:`repro.serve.scheduler` — iteration-level continuous batching
-  with chunked prefill and no-eviction KV-memory admission control,
-  where the bytes-per-token comes from the
+  with chunked prefill and two KV admission policies: worst-case
+  reservations (``"reserve"``, no eviction ever) or vLLM-style paged
+  block allocation with recompute preemption (``"paged"``), where the
+  bytes-per-token comes from the
   :class:`~repro.vq.config.VQConfig` compression ratio;
+- :mod:`repro.serve.paging` — the block pool behind paged admission
+  (:class:`~repro.serve.paging.PagedKVAllocator`: free-list
+  accounting, fragmentation stats);
 - :mod:`repro.serve.costs` — prices one scheduler iteration through the
   memoized :meth:`~repro.core.engine.ComputeEngine.batch_latency_us`;
 - :mod:`repro.serve.simulator` — the discrete-event loop and the
@@ -24,6 +29,7 @@ ready-made FP16-vs-VQ comparisons.
 """
 
 from repro.serve.costs import StepCostModel
+from repro.serve.paging import PagedKVAllocator, PagingStats
 from repro.serve.requests import (
     LengthSampler,
     Request,
@@ -33,6 +39,7 @@ from repro.serve.requests import (
     trace_stats,
 )
 from repro.serve.scheduler import (
+    ADMISSION_POLICIES,
     BatchPlan,
     ContinuousBatchScheduler,
     KVBudget,
@@ -48,10 +55,13 @@ from repro.serve.simulator import (
 )
 
 __all__ = [
+    "ADMISSION_POLICIES",
     "BatchPlan",
     "ContinuousBatchScheduler",
     "KVBudget",
     "LengthSampler",
+    "PagedKVAllocator",
+    "PagingStats",
     "Request",
     "RequestRecord",
     "SequenceState",

@@ -25,6 +25,7 @@ model slightly conservative rather than optimistic.
 from __future__ import annotations
 
 import bisect
+import math
 from typing import Optional, Sequence, Tuple
 
 from repro.core.engine import ComputeEngine
@@ -105,8 +106,13 @@ class StepCostModel:
         return bucket_up(batch, self.batch_buckets)
 
     def _bucket_seq(self, tokens: float) -> int:
+        # Ceil the fractional mean context *before* the ceil-div: the
+        # module contract is that bucketing rounds up (conservative),
+        # and truncating first would drop e.g. 256.4 into the 256
+        # bucket instead of 512.
         b = self.seq_bucket
-        return max(b, int(-(-int(max(1.0, tokens)) // b) * b))
+        t = math.ceil(max(1.0, tokens))
+        return max(b, -(-t // b) * b)
 
     # -- operator pricing ----------------------------------------------
     def _gemv_us(self, shape: GemmShape, fp16: bool = False) -> float:
@@ -164,6 +170,9 @@ class StepCostModel:
         return 0.0
 
     def _prefill_collective_us(self, tokens: int) -> float:
+        return 0.0
+
+    def _sample_collective_us(self, batch: int) -> float:
         return 0.0
 
     # -- iteration pricing ---------------------------------------------
@@ -239,12 +248,37 @@ class StepCostModel:
         return ((gemm_us + attn_us + ew_us) * cfg.n_layers
                 + self._prefill_collective_us(t))
 
+    def first_token_us(self, n_completing: int) -> float:
+        """Sampling cost of the prompt-completing sequences.
+
+        :meth:`prefill_us` deliberately excludes the LM head — the
+        first sampled token is costed with the iteration that completes
+        the prompt.  This is that charge: one FP16 LM-head GEMV over
+        the completing sequences' final hidden states plus an
+        element-wise sampler pass (final norm + a read of the logits).
+        """
+        if n_completing < 1:
+            return 0.0
+        cfg = self.config
+        b = self._bucket_batch(n_completing)
+        shape = self._shard_gemm("lm_head",
+                                 GemmShape(m=b, n=cfg.vocab, k=cfg.hidden))
+        return (self._gemv_us(shape, fp16=True)
+                + self._elementwise_us(b * (cfg.hidden + cfg.vocab))
+                + self._sample_collective_us(b))
+
     def step_us(self, plan: BatchPlan) -> float:
-        """Price one scheduler iteration (prefill chunks + decodes)."""
+        """Price one scheduler iteration (prefill chunks + decodes).
+
+        Call *before* applying the plan
+        (:meth:`~repro.serve.scheduler.ContinuousBatchScheduler.complete`
+        mutates the per-sequence progress this pricing reads).
+        """
         total = 0.0
         if plan.decode:
             total += self.decode_step_us(plan.decode_batch,
                                          plan.mean_context())
         for seq, chunk in plan.prefill:
             total += self.prefill_us(chunk, seq.prefilled)
+        total += self.first_token_us(plan.prompt_completions)
         return total

@@ -1,0 +1,187 @@
+"""Block-based (paged) KV-cache allocation.
+
+Real serving engines do not reserve a request's worst-case KV footprint
+at admission — vLLM-style paged attention carves the cache pool into
+fixed-size *blocks* of ``block_tokens`` token slots each and hands them
+out on demand as prefill and decode advance.  Admission then only needs
+the *prompt's* blocks up front, so many more sequences run concurrently
+than worst-case reservations would allow; the price is that the pool
+can genuinely run out mid-generation, at which point the scheduler
+preempts a sequence and recomputes it later.
+
+:class:`PagedKVAllocator` is the memory-manager half of that design:
+a free-list of interchangeable blocks (the simulator never needs block
+*identities*, only counts — a block table adds nothing to an analytic
+model), per-owner block accounting, and fragmentation statistics.  The
+scheduling half — who gets blocks, who gets preempted — lives in
+:class:`~repro.serve.scheduler.ContinuousBatchScheduler` under
+``admission="paged"``.
+
+Compression composes multiplicatively with paging: the bytes one block
+occupies is ``block_tokens *`` the scheme's
+:func:`~repro.serve.scheduler.kv_bytes_per_token`, so a CQ-4 cache
+fits ~4x the blocks of FP16 in the same pool *and* each sequence's
+internal fragmentation (the unused tail of its last block) shrinks by
+the same factor in bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class PagingStats:
+    """Point-in-time snapshot of a :class:`PagedKVAllocator`.
+
+    ``fragmentation`` is *internal* fragmentation: the fraction of
+    allocated token slots not backing a live token (the unused tail of
+    each sequence's last block).  External fragmentation is structurally
+    zero — blocks are interchangeable, so any free block serves any
+    request.
+    """
+
+    total_blocks: int
+    used_blocks: int
+    free_blocks: int
+    block_tokens: int
+    peak_used_blocks: int
+    n_owners: int
+    used_tokens: int
+
+    @property
+    def used_fraction(self) -> float:
+        return self.used_blocks / max(1, self.total_blocks)
+
+    @property
+    def fragmentation(self) -> float:
+        slots = self.used_blocks * self.block_tokens
+        if slots == 0:
+            return 0.0
+        return 1.0 - self.used_tokens / slots
+
+
+class PagedKVAllocator:
+    """Free-list allocator over a pool of fixed-size KV blocks.
+
+    Parameters
+    ----------
+    total_blocks:
+        Blocks in the pool (codebook overhead already carved out by
+        :meth:`from_budget`).
+    block_tokens:
+        Token slots per block (vLLM's ``block_size``, typically 16).
+    bytes_per_block:
+        HBM bytes one block occupies under the cache scheme, for
+        reporting only — allocation is counted in blocks.
+
+    Owners are opaque hashable keys (the scheduler uses request ids).
+    The allocator tracks, per owner, how many blocks it holds and how
+    many token slots are live, which is what the fragmentation and
+    occupancy statistics derive from.  Invariant (tested):
+    ``used_blocks + free_blocks == total_blocks`` at all times.
+    """
+
+    def __init__(self, total_blocks: int, block_tokens: int,
+                 bytes_per_block: float = 0.0):
+        if total_blocks < 1:
+            raise ValueError("total_blocks must be >= 1")
+        if block_tokens < 1:
+            raise ValueError("block_tokens must be >= 1")
+        self.total_blocks = total_blocks
+        self.block_tokens = block_tokens
+        self.bytes_per_block = bytes_per_block
+        self._held: Dict[int, int] = {}
+        self._used_tokens: Dict[int, int] = {}
+        self._used_blocks = 0
+        self.peak_used_blocks = 0
+
+    @classmethod
+    def from_budget(cls, budget, block_tokens: int) -> "PagedKVAllocator":
+        """Carve a :class:`~repro.serve.scheduler.KVBudget` into blocks.
+
+        The resident-codebook overhead comes off the top (it is not
+        pageable), then the remainder is divided into whole blocks —
+        the sub-block remainder is the pool-level rounding loss paging
+        accepts for O(1) allocation.
+        """
+        if block_tokens < 1:
+            raise ValueError("block_tokens must be >= 1")
+        bytes_per_block = block_tokens * budget.bytes_per_token
+        pool = budget.capacity_bytes - budget.overhead_bytes
+        total = int(pool // bytes_per_block)
+        if total < 1:
+            raise ValueError(
+                f"budget holds {pool:.0f} bytes but one "
+                f"{block_tokens}-token block needs {bytes_per_block:.0f}")
+        return cls(total_blocks=total, block_tokens=block_tokens,
+                   bytes_per_block=bytes_per_block)
+
+    # -- accounting ----------------------------------------------------
+    @property
+    def used_blocks(self) -> int:
+        # Maintained as a counter in ensure/release: this is read in
+        # per-sequence scheduler loops, where re-summing _held would
+        # make every iteration quadratic in the running batch.
+        return self._used_blocks
+
+    @property
+    def free_blocks(self) -> int:
+        return self.total_blocks - self.used_blocks
+
+    @property
+    def used_fraction(self) -> float:
+        """Fraction of the pool currently allocated."""
+        return self.used_blocks / self.total_blocks
+
+    def holds(self, owner: int) -> int:
+        """Blocks currently held by ``owner`` (0 if unknown)."""
+        return self._held.get(owner, 0)
+
+    def blocks_for_tokens(self, tokens: int) -> int:
+        """Blocks needed to store ``tokens`` token slots (ceil)."""
+        if tokens <= 0:
+            return 0
+        return -(-tokens // self.block_tokens)
+
+    # -- allocation ----------------------------------------------------
+    def ensure(self, owner: int, tokens: int) -> bool:
+        """Grow ``owner``'s allocation to cover ``tokens`` live tokens.
+
+        Allocates the missing blocks from the free list and returns
+        ``True``; returns ``False`` (allocating nothing) when the free
+        list cannot cover the growth — the caller then preempts or
+        waits.  Shrinking never happens here: blocks are returned only
+        by :meth:`release`.
+        """
+        need = self.blocks_for_tokens(tokens) - self.holds(owner)
+        if need > self.free_blocks:
+            return False
+        if need > 0:
+            self._held[owner] = self.holds(owner) + need
+            self._used_blocks += need
+            self.peak_used_blocks = max(self.peak_used_blocks,
+                                        self._used_blocks)
+        if tokens > self._used_tokens.get(owner, 0):
+            self._used_tokens[owner] = tokens
+        return True
+
+    def release(self, owner: int) -> int:
+        """Return all of ``owner``'s blocks to the free list."""
+        self._used_tokens.pop(owner, None)
+        freed = self._held.pop(owner, 0)
+        self._used_blocks -= freed
+        return freed
+
+    def stats(self) -> PagingStats:
+        """Snapshot for reports and tests."""
+        return PagingStats(
+            total_blocks=self.total_blocks,
+            used_blocks=self.used_blocks,
+            free_blocks=self.free_blocks,
+            block_tokens=self.block_tokens,
+            peak_used_blocks=self.peak_used_blocks,
+            n_owners=len(self._held),
+            used_tokens=sum(self._used_tokens.values()),
+        )

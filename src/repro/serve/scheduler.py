@@ -4,12 +4,28 @@ The scheduler implements the iteration-level (Orca-style) continuous
 batching loop used by modern LLM serving engines:
 
 - every iteration, all running sequences in the *decode* phase
-  contribute one token each;
+  contribute one token each, in round-robin priority so a tight token
+  budget never starves the tail of the batch;
 - leftover token budget goes to *prefill*, chunked so a long prompt
   never starves decodes (chunked prefill);
-- a request is admitted only when its worst-case KV-cache footprint
-  (prompt + maximum output tokens) fits in the HBM budget, so there is
-  never a mid-generation eviction.
+- memory is governed by one of two admission policies:
+
+  ``admission="reserve"``
+      a request is admitted only when its worst-case KV-cache footprint
+      (prompt + maximum output tokens) fits in the HBM budget, so there
+      is never a mid-generation eviction — simple, but occupancy is
+      bounded by reservations that mostly go unused;
+
+  ``admission="paged"``
+      KV memory is a pool of fixed-size blocks
+      (:class:`~repro.serve.paging.PagedKVAllocator`, vLLM-style)
+      allocated on demand as prefill/decode advance.  Admission needs
+      only the *prompt's* blocks, so far more sequences run
+      concurrently; when the pool runs dry the scheduler preempts the
+      most recently admitted sequence via *recompute* — its blocks are
+      freed and its prompt (plus tokens generated so far) is
+      re-prefilled when it is re-admitted, FCFS ahead of the waiting
+      queue.
 
 KV memory is where VQ earns its keep at the serving level: the budget's
 bytes-per-token comes from :func:`kv_bytes_per_token`, which scales the
@@ -17,7 +33,8 @@ FP16 footprint of :attr:`repro.llm.config.LlamaConfig.kv_bytes_per_token`
 by a :class:`~repro.vq.config.VQConfig` compression ratio (e.g. CQ-2
 stores 12.5% of FP16), minus a one-off resident-codebook overhead
 (:func:`kv_codebook_bytes`).  At an equal HBM budget a VQ cache
-therefore admits ~4-8x more concurrent sequences, which is what the
+therefore admits ~4-8x more concurrent sequences — and under paged
+admission it also packs ~4-8x more *blocks*, which is what the
 simulator turns into sustained-throughput numbers.
 
 See ``docs/architecture.md`` for how the scheduler plugs into the
@@ -33,7 +50,11 @@ from typing import Deque, List, Optional, Tuple
 from repro.llm.config import LlamaConfig
 from repro.vq.config import VQConfig
 
+from repro.serve.paging import PagedKVAllocator
 from repro.serve.requests import Request
+
+#: Admission policies :class:`ContinuousBatchScheduler` understands.
+ADMISSION_POLICIES = ("reserve", "paged")
 
 
 def kv_bytes_per_token(config: LlamaConfig,
@@ -152,18 +173,31 @@ class SequenceState:
     """Scheduler-side state of one admitted request."""
 
     request: Request
-    #: Prompt tokens already prefilled.
+    #: Monotonic first-admission rank (scheduler bookkeeping: preempted
+    #: sequences re-admit in this order, keeping re-admission FCFS).
+    admission_no: int = 0
+    #: Prompt (plus recompute) tokens already prefilled.
     prefilled: int = 0
     #: Output tokens generated so far.
     generated: int = 0
+    #: Generated tokens converted back into prefill work by recompute
+    #: preemptions (their KV was freed; they re-prefill with the prompt).
+    restart_tokens: int = 0
+    #: Times this sequence was preempted.
+    preemptions: int = 0
     #: Simulation time of admission, first output token, completion.
     admitted_s: float = 0.0
     first_token_s: Optional[float] = None
     finished_s: Optional[float] = None
 
     @property
+    def prefill_target(self) -> int:
+        """Tokens this sequence must prefill before (re-)entering decode."""
+        return self.request.prompt_tokens + self.restart_tokens
+
+    @property
     def prefill_remaining(self) -> int:
-        return self.request.prompt_tokens - self.prefilled
+        return self.prefill_target - self.prefilled
 
     @property
     def in_decode(self) -> bool:
@@ -176,8 +210,14 @@ class SequenceState:
 
     @property
     def context_tokens(self) -> int:
-        """Tokens currently in this sequence's KV cache."""
-        return self.prefilled + self.generated
+        """Tokens currently in this sequence's KV cache.
+
+        ``generated`` tokens whose KV was dropped by a preemption count
+        only once they are re-prefilled (they are inside ``prefilled``
+        via :attr:`prefill_target`), hence the ``restart_tokens``
+        correction.
+        """
+        return self.prefilled + self.generated - self.restart_tokens
 
     @property
     def reserved_tokens(self) -> int:
@@ -208,6 +248,15 @@ class BatchPlan:
     def empty(self) -> bool:
         return not self.prefill and not self.decode
 
+    @property
+    def prompt_completions(self) -> int:
+        """Prefill entries whose chunk completes the prompt this
+        iteration — each samples a first token through the LM head.
+        Evaluate *before* :meth:`ContinuousBatchScheduler.complete`
+        applies the plan (the cost model prices the plan first)."""
+        return sum(1 for seq, chunk in self.prefill
+                   if chunk == seq.prefill_remaining)
+
     def mean_context(self) -> float:
         """Mean decode context length (tokens already in cache)."""
         if not self.decode:
@@ -221,35 +270,80 @@ class ContinuousBatchScheduler:
     Parameters
     ----------
     budget:
-        The KV-cache memory allowance; admission reserves each request's
-        worst-case footprint against it.
+        The KV-cache memory allowance.
     token_budget:
         Maximum tokens processed per iteration (decode tokens + prefill
         chunk), the knob vLLM calls ``max_num_batched_tokens``.
     max_seqs:
         Maximum concurrently admitted sequences (attention batch cap).
+    admission:
+        ``"reserve"`` (default) reserves each request's worst-case
+        footprint at admission; ``"paged"`` allocates fixed-size blocks
+        on demand and preempts-by-recompute on exhaustion.
+    block_tokens:
+        Token slots per KV block under paged admission (vLLM's
+        ``block_size``); ignored for ``"reserve"``.
+    watermark_frac:
+        Fraction of the block pool paged admission keeps free as a
+        hedge against immediate preemption of a just-admitted sequence
+        (vLLM's ``watermark``); ignored for ``"reserve"``.
     """
 
     def __init__(self, budget: KVBudget, token_budget: int = 2048,
-                 max_seqs: int = 64):
+                 max_seqs: int = 64, admission: str = "reserve",
+                 block_tokens: int = 16, watermark_frac: float = 0.01):
         if token_budget < 1:
             raise ValueError("token_budget must be >= 1")
         if max_seqs < 1:
             raise ValueError("max_seqs must be >= 1")
+        if admission not in ADMISSION_POLICIES:
+            raise ValueError(f"unknown admission policy {admission!r}; "
+                             f"expected one of {ADMISSION_POLICIES}")
+        if not 0 <= watermark_frac < 1:
+            raise ValueError("watermark_frac must be in [0, 1)")
         self.budget = budget
         self.token_budget = token_budget
         self.max_seqs = max_seqs
+        self.admission = admission
+        self.allocator: Optional[PagedKVAllocator] = None
+        self._watermark_blocks = 0
+        if admission == "paged":
+            self.allocator = PagedKVAllocator.from_budget(budget,
+                                                          block_tokens)
+            self._watermark_blocks = int(self.allocator.total_blocks
+                                         * watermark_frac)
         self.waiting: Deque[Request] = deque()
+        #: Preempted sequences awaiting re-admission (ahead of
+        #: ``waiting`` — they are older than anything still queued).
+        self.preempted: Deque[SequenceState] = deque()
         self.running: List[SequenceState] = []
         self.reserved_tokens = 0
-        #: High-water marks, for reporting.
+        self._admission_counter = 0
+        #: Round-robin start offset for decode-slot priority.
+        self._decode_offset = 0
+        #: High-water marks and counters, for reporting.
         self.peak_seqs = 0
         self.peak_reserved_tokens = 0
+        self.peak_kv_occupancy = 0.0
+        self.n_preemptions = 0
 
     # -- queue management ----------------------------------------------
+    def fits(self, request: Request) -> bool:
+        """Whether this request could ever complete under the budget."""
+        if self.allocator is not None:
+            return (self.allocator.blocks_for_tokens(request.total_tokens)
+                    <= self.allocator.total_blocks)
+        return request.total_tokens <= self.budget.max_tokens
+
     def submit(self, request: Request) -> None:
         """Enqueue an arrived request (FCFS)."""
-        if request.total_tokens > self.budget.max_tokens:
+        if not self.fits(request):
+            if self.allocator is not None:
+                raise ValueError(
+                    f"request {request.req_id} needs "
+                    f"{self.allocator.blocks_for_tokens(request.total_tokens)}"
+                    f" KV blocks but the pool holds "
+                    f"{self.allocator.total_blocks}")
             raise ValueError(
                 f"request {request.req_id} needs {request.total_tokens} "
                 f"KV tokens but the budget holds {self.budget.max_tokens}")
@@ -257,47 +351,256 @@ class ContinuousBatchScheduler:
 
     @property
     def has_work(self) -> bool:
-        return bool(self.waiting or self.running)
+        return bool(self.waiting or self.preempted or self.running)
 
     @property
     def kv_utilization(self) -> float:
-        """Fraction of the KV budget currently reserved."""
+        """Fraction of the KV budget currently held against admission.
+
+        Reserve mode: worst-case reservations over capacity.  Paged
+        mode: allocated blocks over the pool (what actually gates
+        allocation).
+        """
+        if self.allocator is not None:
+            return self.allocator.used_fraction
         return self.reserved_tokens / max(1, self.budget.max_tokens)
 
+    @property
+    def kv_occupancy(self) -> float:
+        """Fraction of the KV budget *actually resident* in HBM.
+
+        Reserve mode: live context tokens over capacity — typically far
+        below :attr:`kv_utilization`, because worst-case reservations
+        sit idle until the tokens materialise.  Paged mode: allocated
+        blocks over the pool (blocks are resident bytes; the gap to
+        live tokens is the internal fragmentation the allocator's
+        :meth:`~repro.serve.paging.PagedKVAllocator.stats` reports).
+        """
+        if self.allocator is not None:
+            return self.allocator.used_fraction
+        live = sum(s.context_tokens for s in self.running)
+        return live / max(1, self.budget.max_tokens)
+
+    @property
+    def kv_pressure(self) -> float:
+        """Near-term KV demand over capacity, counting the queue.
+
+        Unlike :attr:`kv_utilization` this includes what *queued* work
+        will need — worst-case reservations in reserve mode, observed
+        block usage plus queued prompts' blocks in paged mode — so a
+        router sees pressure build before admission does.
+        """
+        if self.allocator is not None:
+            alloc = self.allocator
+            queued = sum(alloc.blocks_for_tokens(s.prefill_target + 1)
+                         for s in self.preempted)
+            queued += sum(alloc.blocks_for_tokens(r.prompt_tokens + 1)
+                          for r in self.waiting)
+            return (alloc.used_blocks + queued) / alloc.total_blocks
+        demand = (self.reserved_tokens
+                  + sum(r.total_tokens for r in self.waiting))
+        return demand / max(1, self.budget.max_tokens)
+
+    @property
+    def kv_fragmentation(self) -> float:
+        """Internal fragmentation of the paged pool (0.0 for reserve).
+
+        Single source of truth is the allocator's own stats — the
+        scheduler does not keep a second, subtly different tally.
+        """
+        if self.allocator is None:
+            return 0.0
+        return self.allocator.stats().fragmentation
+
+    # -- admission -----------------------------------------------------
     def _admit(self, now_s: float) -> None:
-        """Move waiting requests to running while memory and seats last.
+        """Move queued work to running while memory and seats last.
 
         Admission is FCFS without holes: skipping ahead of a large
-        request would starve it (head-of-line blocking is the fair
-        price of no-eviction reservations).
+        request would starve it.  Preempted sequences re-enter first —
+        they predate everything still waiting.
         """
-        while self.waiting and len(self.running) < self.max_seqs:
-            nxt = self.waiting[0]
-            if (self.reserved_tokens + nxt.total_tokens
-                    > self.budget.max_tokens):
-                break
-            self.waiting.popleft()
-            self.running.append(SequenceState(request=nxt, admitted_s=now_s))
-            self.reserved_tokens += nxt.total_tokens
+        if self.allocator is not None:
+            self._admit_paged(now_s)
+        else:
+            while self.waiting and len(self.running) < self.max_seqs:
+                nxt = self.waiting[0]
+                if (self.reserved_tokens + nxt.total_tokens
+                        > self.budget.max_tokens):
+                    break
+                self.waiting.popleft()
+                self.running.append(self._new_sequence(nxt, now_s))
+                self.reserved_tokens += nxt.total_tokens
         self.peak_seqs = max(self.peak_seqs, len(self.running))
         self.peak_reserved_tokens = max(self.peak_reserved_tokens,
                                         self.reserved_tokens)
 
+    def _admit_paged(self, now_s: float) -> None:
+        """Admit while the free list covers each candidate's prefill.
+
+        Only the prompt (plus the first sampled token's slot) is
+        required up front — that is the whole point of paging — but the
+        check also counts the *outstanding* prefill demand of already
+        running sequences, so a burst of admissions cannot promise the
+        same free blocks twice.
+        """
+        alloc = self.allocator
+        committed = sum(
+            max(0, alloc.blocks_for_tokens(s.prefill_target + 1)
+                - alloc.holds(s.request.req_id))
+            for s in self.running)
+        while (len(self.running) < self.max_seqs
+               and (self.preempted or self.waiting)):
+            if self.preempted:
+                tokens = self.preempted[0].prefill_target + 1
+            else:
+                tokens = self.waiting[0].prompt_tokens + 1
+            need = alloc.blocks_for_tokens(tokens)
+            watermark = self._watermark_blocks if self.running else 0
+            if committed + need + watermark > alloc.free_blocks:
+                break
+            if self.preempted:
+                self.running.append(self.preempted.popleft())
+            else:
+                req = self.waiting.popleft()
+                self.running.append(self._new_sequence(req, now_s))
+            committed += need
+
+    def _new_sequence(self, request: Request,
+                      now_s: float) -> SequenceState:
+        """First admission of a request (stamps its FCFS rank)."""
+        self._admission_counter += 1
+        return SequenceState(request=request, admitted_s=now_s,
+                             admission_no=self._admission_counter)
+
+    # -- preemption ----------------------------------------------------
+    def _preempt(self, victim: SequenceState,
+                 evicted_ids: set) -> None:
+        """Evict ``victim`` by recompute: free its blocks, queue it for
+        re-admission with its generated tokens folded into prefill."""
+        self.allocator.release(victim.request.req_id)
+        self.running.remove(victim)
+        evicted_ids.add(id(victim))
+        victim.prefilled = 0
+        victim.restart_tokens = victim.generated
+        victim.preemptions += 1
+        # Insert by first-admission rank: victims of one iteration fall
+        # youngest-first, and a victim of a *later* iteration may be
+        # older or younger than what is already queued — either way
+        # re-admission must stay FCFS.
+        pos = 0
+        while (pos < len(self.preempted)
+               and self.preempted[pos].admission_no < victim.admission_no):
+            pos += 1
+        self.preempted.insert(pos, victim)
+        self.n_preemptions += 1
+
+    def _pick_victim(self, plan: BatchPlan) -> Optional[SequenceState]:
+        """Youngest-admitted running sequence not already granted work
+        in this plan (it may be the sequence asking for blocks).
+
+        Youngest means highest :attr:`SequenceState.admission_no`, not
+        tail position — re-admitted preempted sequences append to the
+        tail of ``running`` but keep their original (older) rank, and
+        re-evicting one would throw away its just-paid re-prefill.
+        """
+        planned = {id(s) for s in plan.decode}
+        planned.update(id(s) for s, _ in plan.prefill)
+        victim: Optional[SequenceState] = None
+        for cand in self.running:
+            if id(cand) in planned:
+                continue
+            if victim is None or cand.admission_no > victim.admission_no:
+                victim = cand
+        return victim
+
+    def _grow_for_decode(self, seq: SequenceState, plan: BatchPlan,
+                         evicted_ids: set) -> bool:
+        """Allocate ``seq``'s next token slot, preempting as needed.
+
+        Returns ``False`` when ``seq`` cannot decode this iteration —
+        either it was itself the preemption victim, or every other
+        running sequence is already committed to the plan.
+        """
+        alloc = self.allocator
+        rid = seq.request.req_id
+        while not alloc.ensure(rid, seq.context_tokens + 1):
+            victim = self._pick_victim(plan)
+            if victim is None:
+                return False
+            self._preempt(victim, evicted_ids)
+            if victim is seq:
+                return False
+        return True
+
+    def _clip_prefill_chunk(self, seq: SequenceState, chunk: int) -> int:
+        """Shrink a prefill chunk to what the free list can back now.
+
+        Prefill never preempts — decodes hold that privilege — it just
+        takes fewer tokens and resumes next iteration.  A chunk that
+        completes the prompt takes the sampled token's slot too when it
+        fits; otherwise that slot is deferred to the sequence's first
+        decode (whose ``ensure`` may preempt), so a full pool can never
+        wedge a one-token-from-done prefill at zero progress.
+        """
+        alloc = self.allocator
+        rid = seq.request.req_id
+        kv = seq.context_tokens
+        capacity = (alloc.holds(rid) + alloc.free_blocks) * alloc.block_tokens
+        avail = capacity - kv
+        chunk = min(chunk, avail)
+        if chunk < 1:
+            return 0
+        target = kv + chunk
+        if chunk == seq.prefill_remaining and chunk + 1 <= avail:
+            target += 1
+        if not alloc.ensure(rid, target):  # pragma: no cover - avail bounds
+            return 0
+        return chunk
+
     # -- iteration planning --------------------------------------------
     def schedule(self, now_s: float = 0.0) -> BatchPlan:
-        """Plan one iteration: decodes first, then chunked prefill."""
+        """Plan one iteration: decodes first, then chunked prefill.
+
+        Decode slots are granted in round-robin order (a rotating start
+        offset over the decoding sequences), so when ``token_budget``
+        is smaller than the decoding batch every sequence still makes
+        progress within a bounded number of iterations instead of the
+        head of ``running`` draining first while the tail starves.
+        """
         self._admit(now_s)
         plan = BatchPlan()
         budget = self.token_budget
-        for seq in self.running:
-            if seq.in_decode and budget > 0:
+        #: Sequences preempted while building *this* plan (paged only) —
+        #: an id set, so skipping them costs O(1) per candidate instead
+        #: of an equality scan of ``running``.
+        evicted_ids: set = set()
+        candidates = [s for s in self.running if s.in_decode]
+        if candidates and budget > 0:
+            start = self._decode_offset % len(candidates)
+            granted = 0
+            for seq in candidates[start:] + candidates[:start]:
+                if budget <= 0:
+                    break
+                if id(seq) in evicted_ids:
+                    continue  # preempted as a victim earlier this plan
+                if (self.allocator is not None
+                        and not self._grow_for_decode(seq, plan,
+                                                      evicted_ids)):
+                    continue
                 plan.decode.append(seq)
                 budget -= 1
-        for seq in self.running:
+                granted += 1
+            self._decode_offset = (start + granted) % len(candidates)
+        for seq in list(self.running):
             if budget <= 0:
                 break
             if seq.prefill_remaining > 0:
                 chunk = min(seq.prefill_remaining, budget)
+                if self.allocator is not None:
+                    chunk = self._clip_prefill_chunk(seq, chunk)
+                    if chunk < 1:
+                        continue
                 plan.prefill.append((seq, chunk))
                 budget -= chunk
         return plan
@@ -307,22 +610,31 @@ class ContinuousBatchScheduler:
 
         A sequence whose prefill completes emits its first output token
         in the same iteration (the last prefill chunk's logits feed the
-        sampler), which is when TTFT stops ticking.
+        sampler), which is when TTFT stops ticking.  After a recompute
+        preemption the same rule re-applies: the iteration completing
+        the re-prefill samples the *next* token.
         """
         finished: List[SequenceState] = []
         for seq, chunk in plan.prefill:
             seq.prefilled += chunk
             if seq.prefill_remaining == 0:
                 seq.generated += 1
-                seq.first_token_s = now_s
+                if seq.first_token_s is None:
+                    seq.first_token_s = now_s
         for seq in plan.decode:
             seq.generated += 1
             if seq.first_token_s is None:
                 seq.first_token_s = now_s
+        # High-water mark of resident KV, before finished sequences free.
+        self.peak_kv_occupancy = max(self.peak_kv_occupancy,
+                                     self.kv_occupancy)
         for seq in list(self.running):
             if seq.finished:
                 seq.finished_s = now_s
                 self.running.remove(seq)
-                self.reserved_tokens -= seq.reserved_tokens
+                if self.allocator is not None:
+                    self.allocator.release(seq.request.req_id)
+                else:
+                    self.reserved_tokens -= seq.reserved_tokens
                 finished.append(seq)
         return finished

@@ -84,9 +84,16 @@ class ServingReport:
     n_iterations: int
     peak_seqs: int
     peak_kv_utilization: float
-    #: Requests whose worst-case KV footprint exceeded the budget and
+    #: Requests whose KV footprint exceeded the budget outright and
     #: were rejected at arrival (never admitted, not in ``records``).
     n_rejected: int = 0
+    #: Admission policy of the scheduler that produced this report.
+    admission: str = "reserve"
+    #: Peak fraction of the KV budget actually resident in HBM (live
+    #: tokens for reserve admission, allocated blocks for paged).
+    peak_kv_occupancy: float = 0.0
+    #: Recompute preemptions fired (paged admission only).
+    n_preempted: int = 0
 
     # -- throughput ----------------------------------------------------
     @property
@@ -137,8 +144,13 @@ class ServingReport:
             f"p95 {self.latency_s(95):6.2f} s, "
             f"p99 {self.latency_s(99):6.2f} s",
             f"  concurrency: peak {self.peak_seqs} seqs, "
-            f"peak KV use {self.peak_kv_utilization:.0%}",
+            f"peak KV use {self.peak_kv_utilization:.0%} "
+            f"({self.admission}), "
+            f"occupancy {self.peak_kv_occupancy:.0%}",
         ]
+        if self.n_preempted:
+            lines.append(f"  preempted  : {self.n_preempted} recompute "
+                         "preemptions")
         if self.n_rejected:
             lines.append(f"  rejected   : {self.n_rejected} requests "
                          "exceeded the KV budget")
@@ -178,7 +190,7 @@ class ServingSimulator:
                    and pending[next_arrival].arrival_s <= clock.now_s):
                 req = pending[next_arrival]
                 next_arrival += 1
-                if req.total_tokens > sched.budget.max_tokens:
+                if not sched.fits(req):
                     # Could never be admitted: reject up front (a real
                     # server returns 4xx) instead of wedging the queue.
                     rejected.append(req)
@@ -192,7 +204,18 @@ class ServingSimulator:
                     clock.now_s = max(clock.now_s,
                                       pending[next_arrival].arrival_s)
                     continue
-                break  # drained
+                if not sched.has_work:
+                    break  # drained
+                # Unreachable by construction (a self-preempting decode
+                # frees blocks for prefill, and re-admission runs at the
+                # top of schedule()) — but a stall must never silently
+                # drop in-flight requests, so fail loudly, matching
+                # Replica.step in the fleet layer.
+                raise RuntimeError(
+                    "scheduler made no progress with work pending "
+                    f"({len(sched.running)} running, "
+                    f"{len(sched.waiting)} waiting, "
+                    f"{len(getattr(sched, 'preempted', ()))} preempted)")
 
             iterations += 1
             if iterations > max_iterations:
@@ -224,4 +247,7 @@ class ServingSimulator:
             peak_seqs=sched.peak_seqs,
             peak_kv_utilization=peak_kv,
             n_rejected=len(rejected),
+            admission=getattr(sched, "admission", "reserve"),
+            peak_kv_occupancy=getattr(sched, "peak_kv_occupancy", 0.0),
+            n_preempted=getattr(sched, "n_preemptions", 0),
         )

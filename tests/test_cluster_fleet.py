@@ -40,6 +40,18 @@ def _replicas(n, max_tokens=100_000, step_us=1000.0, token_budget=512,
     ]
 
 
+def _paged_replicas(n, max_tokens=300, step_us=1000.0, token_budget=512,
+                    max_seqs=32, block_tokens=8):
+    cost = ConstantCostModel(step_us)
+    return [
+        Replica(i, ContinuousBatchScheduler(
+            KVBudget(capacity_bytes=float(max_tokens), bytes_per_token=1.0),
+            token_budget=token_budget, max_seqs=max_seqs,
+            admission="paged", block_tokens=block_tokens), cost)
+        for i in range(n)
+    ]
+
+
 def _trace(n, prompt=32, output=8, gap=0.0):
     return [Request(req_id=i, arrival_s=i * gap, prompt_tokens=prompt,
                     output_tokens=output) for i in range(n)]
@@ -77,7 +89,7 @@ class TestRequestConservation:
         assert sorted(r.req_id for r in report.records) == list(range(30))
         assert sorted(report.assignments) == list(range(30))
         # Per-replica routed counts partition the trace.
-        assert sum(routed for routed, _, _ in report.replica_stats) == 30
+        assert sum(routed for routed, *_ in report.replica_stats) == 30
 
     def test_rejected_plus_completed_covers_the_trace(self):
         trace = _trace(4, prompt=32, output=8)          # 40 tokens each
@@ -232,3 +244,58 @@ class TestSizeFleet:
         with pytest.raises(ValueError):
             size_fleet(lambda n: _replicas(n), _trace(1), SLO(ttft_s=1.0),
                        max_replicas=0)
+
+
+class TestPagedFleet:
+    def test_paged_replicas_complete_and_surface_preemptions(self):
+        """A fleet of paged replicas conserves requests and reports
+        per-replica recompute preemption counts."""
+        trace = _trace(16, prompt=32, output=24, gap=0.0)
+        report = FleetSimulator(_paged_replicas(2, max_tokens=300),
+                                policy="jsq", name="unit").run(trace)
+        assert report.n_requests == 16 and report.n_rejected == 0
+        assert len(report.replica_stats) == 2
+        assert all(len(stats) == 4 for stats in report.replica_stats)
+        assert report.n_preempted >= 1
+        assert "preemption" in report.summary()
+
+    def test_least_kv_routes_on_observed_blocks(self):
+        """Under paged admission the ``least-kv`` policy sees the
+        blocks a replica actually holds: a replica packed with live
+        sequences reports higher pressure than an idle one even though
+        both have identical worst-case reservations (zero)."""
+        reps = _paged_replicas(2, max_tokens=300)
+        for i in range(4):
+            reps[0].submit(Request(req_id=100 + i, arrival_s=0.0,
+                                   prompt_tokens=32, output_tokens=24))
+        reps[0].step()  # allocate blocks for the prefills
+        assert reps[0].kv_pressure > reps[1].kv_pressure == 0.0
+        policy = make_policy("least-kv")
+        assert policy.choose(_trace(1)[0], reps, [0, 1]) == 1
+
+    def test_candidates_respect_block_granularity(self):
+        """Routing feasibility uses the scheduler's own fits() — a
+        request can be infeasible on a paged replica purely from block
+        rounding, not just token capacity."""
+        reps = _paged_replicas(1, max_tokens=40, block_tokens=8)
+        trace = [Request(req_id=0, arrival_s=0.0, prompt_tokens=33,
+                         output_tokens=8)]  # 41 tokens -> 6 blocks of 5
+        report = FleetSimulator(reps, policy="jsq", name="unit").run(trace)
+        assert report.n_rejected == 1 and report.n_requests == 0
+
+    def test_queue_depth_counts_preempted_sequences(self):
+        """Preempted sequences carry re-prefill work, so jsq must see
+        them as queued load."""
+        rep = _paged_replicas(1, max_tokens=64, max_seqs=4)[0]
+        for i in range(2):
+            rep.submit(Request(req_id=i, arrival_s=0.0,
+                               prompt_tokens=24, output_tokens=30))
+        it = 0
+        while not rep.scheduler.preempted:
+            rep.step()
+            it += 1
+            assert it < 200
+        s = rep.scheduler
+        assert rep.queue_depth == (len(s.waiting) + len(s.preempted)
+                                   + len(s.running))
+        assert len(s.preempted) >= 1

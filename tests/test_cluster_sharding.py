@@ -104,6 +104,17 @@ class TestCollectiveAccounting:
         assert (plan.prefill_collective_us(16)
                 < plan.decode_collective_us(16))
 
+    def test_sample_collective_prices_the_logits_gather(self):
+        """The prompt-completing iteration's first tokens pay the same
+        full-vocab all-gather a decode step's LM head does."""
+        plan = TensorParallelPlan(llama_7b(), 4, NVLINK3)
+        assert plan.sample_collective_us(4) > 0.0
+        assert (plan.sample_collective_us(4)
+                == pytest.approx(plan.allgather_us(
+                    4 * llama_7b().vocab * 2)))
+        assert TensorParallelPlan(
+            llama_7b(), 1, NVLINK3).sample_collective_us(4) == 0.0
+
 
 class TestKVBudgetSharding:
     def test_kv_bytes_shard_but_codebooks_replicate(self):
@@ -141,6 +152,19 @@ class TestShardedStepCostModel:
         for tokens, ctx in ((256, 0), (512, 1024)):
             assert sharded.prefill_us(tokens, ctx) == pytest.approx(
                 base.prefill_us(tokens, ctx), rel=1e-12)
+        assert sharded.first_token_us(4) == pytest.approx(
+            base.first_token_us(4), rel=1e-12)
+
+    def test_first_token_includes_logits_gather_under_tp(self, engine):
+        """Regression: under TP the first sampled token's LM-head
+        all-gather must be priced, exactly as a decode step's is."""
+        cfg = llama_7b()
+        plan = TensorParallelPlan(cfg, 4, NVLINK3)
+        sharded = ShardedStepCostModel(engine, cfg, plan, seq_bucket=512)
+        shard_only = (sharded.first_token_us(4)
+                      - plan.sample_collective_us(4))
+        assert plan.sample_collective_us(4) > 0.0
+        assert shard_only > 0.0
 
     def test_free_interconnect_makes_tp_strictly_faster(self, engine):
         """Over an ideal link, sharding can only shrink the step."""

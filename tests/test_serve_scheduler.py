@@ -174,6 +174,40 @@ class TestScheduling:
         assert sched.peak_reserved_tokens == 80
         assert sched.kv_utilization == pytest.approx(0.08)
 
+    def test_decode_round_robin_prevents_starvation(self):
+        """Regression: with ``token_budget < len(running)`` decoding
+        sequences, decode slots rotate round-robin so every sequence
+        makes progress — pre-fix, slots went in ``running`` order every
+        iteration and the tail starved until the head drained."""
+        sched = _scheduler(max_tokens=100_000, token_budget=64, max_seqs=8)
+        for i in range(6):
+            sched.submit(_req(i, prompt=8, output=50))
+        sched.complete(sched.schedule(), now_s=0.0)  # prefill all 6
+        assert all(s.in_decode for s in sched.running)
+        assert all(s.generated == 1 for s in sched.running)
+        sched.token_budget = 2  # now 2 decode slots for 6 sequences
+        for it in range(1, 10):
+            plan = sched.schedule()
+            assert plan.decode_batch == 2
+            sched.complete(plan, now_s=float(it))
+        # 9 iterations x 2 slots = 18 tokens over 6 sequences: exactly
+        # 3 each under round-robin (plus the prefill-completion token).
+        gens = [s.generated for s in sched.running]
+        assert gens == [4] * 6
+
+    def test_decode_rotation_is_noop_with_ample_budget(self):
+        """With slots for everyone, rotation changes nothing: all
+        decoding sequences are served every iteration."""
+        sched = _scheduler(max_tokens=100_000, token_budget=512, max_seqs=8)
+        for i in range(4):
+            sched.submit(_req(i, prompt=8, output=5))
+        sched.complete(sched.schedule(), now_s=0.0)
+        for it in range(1, 4):
+            plan = sched.schedule()
+            assert plan.decode_batch == 4
+            sched.complete(plan, now_s=float(it))
+        assert all(s.generated == 4 for s in sched.running)
+
     def test_integration_with_model_budget(self):
         """End-to-end: VQ budgets admit many more tiny-Llama sequences."""
         cfg = tiny_llama()

@@ -79,6 +79,20 @@ class TestBucketing:
         with pytest.raises(ValueError):
             bucket_up(0, (1, 2))
 
+    def test_seq_bucket_rounds_fractional_context_up(self):
+        """Regression: a fractional mean context just past a bucket
+        boundary must round *up* (the module contract), not truncate
+        into the lower bucket before the ceil-div (256.4 -> 256)."""
+        cost = StepCostModel(ComputeEngine(RTX4090), tiny_llama(),
+                             seq_bucket=256)
+        assert cost._bucket_seq(256.0) == 256
+        assert cost._bucket_seq(256.4) == 512   # pre-fix: 256
+        assert cost._bucket_seq(512.0) == 512
+        assert cost._bucket_seq(512.01) == 768
+        assert cost._bucket_seq(0.5) == 256
+        assert cost._bucket_seq(1.0) == 256
+        assert cost._bucket_seq(257) == 512
+
 
 class TestSimulatorLoop:
     def test_single_request_timing_is_exact(self):
@@ -220,6 +234,28 @@ class TestReviewRegressions:
         assert report.n_requests == 0 and report.n_rejected == 1
         assert report.ttft_s(50) == 0.0 and report.latency_s(99) == 0.0
         report.summary()  # must not raise
+
+    def test_prompt_completion_prices_first_token(self):
+        """Regression: the iteration that completes a prompt samples
+        that sequence's first output token, so it must be charged the
+        LM-head GEMV + sampler pass ``prefill_us`` deliberately omits
+        (pre-fix, completing and non-completing chunks cost the same).
+        """
+        from repro.serve.scheduler import BatchPlan, SequenceState
+        cfg = tiny_llama()
+        cost = StepCostModel(ComputeEngine(RTX4090), cfg, seq_bucket=128)
+        completing = SequenceState(request=Request(0, 0.0, 64, 8),
+                                   prefilled=32)
+        mid_prompt = SequenceState(request=Request(1, 0.0, 128, 8),
+                                   prefilled=32)
+        plan_done = BatchPlan(prefill=[(completing, 32)])
+        plan_mid = BatchPlan(prefill=[(mid_prompt, 32)])
+        assert plan_done.prompt_completions == 1
+        assert plan_mid.prompt_completions == 0
+        extra = cost.step_us(plan_done) - cost.step_us(plan_mid)
+        assert cost.first_token_us(1) > 0
+        assert extra == pytest.approx(cost.first_token_us(1))
+        assert cost.first_token_us(0) == 0.0
 
     def test_qt_v_without_qt_rejected(self):
         from repro.kernels.attention import AttentionShape as AS
