@@ -42,7 +42,9 @@ from repro.serve.requests import (
     LengthSampler,
     Request,
     bursty_trace,
+    multi_turn_chat_trace,
     poisson_trace,
+    shared_prefix_trace,
     trace_stats,
 )
 from repro.serve.scheduler import (
@@ -60,8 +62,10 @@ KV_ONLY_MODES = {"kv-cq-4": "cq-4", "kv-cq-2": "cq-2"}
 #: All serving modes this experiment understands.
 SERVING_MODES = tuple(MODES) + tuple(KV_ONLY_MODES)
 
-#: Arrival processes :func:`make_trace` understands.
-TRACE_KINDS = ("poisson", "bursty")
+#: Arrival processes :func:`make_trace` understands.  The session-aware
+#: kinds (``shared_prefix``, ``chat``) synthesize token ids, so they
+#: are the ones prefix caching can act on.
+TRACE_KINDS = ("poisson", "bursty", "shared_prefix", "chat")
 
 
 def mode_kv_scheme(mode: str) -> dict:
@@ -105,7 +109,19 @@ def make_trace(
     output_mean: int,
     seed: int = 0,
 ) -> List[Request]:
-    """Build an arrival trace of one of :data:`TRACE_KINDS`."""
+    """Build an arrival trace of one of :data:`TRACE_KINDS`.
+
+    The classic kinds spend ``prompt_mean`` on one lognormal prompt.
+    ``shared_prefix`` splits it: a fixed system prompt of
+    ``2 * prompt_mean`` tokens shared by every request plus a unique
+    ``prompt_mean``-mean user suffix.  ``chat`` builds 4-turn sessions
+    (``prompt_mean``-mean user messages on a ``prompt_mean``-token
+    system prompt), so turn *k* re-sends the concatenated history;
+    enough sessions are generated to cover ``n_requests`` and the
+    latest arrivals are dropped to hit the count exactly (a dropped
+    global suffix only ever removes a *suffix* of each session's
+    turns, so history chains stay intact).
+    """
     samplers = dict(
         prompt=LengthSampler(mean=prompt_mean, cv=0.5, hi=4 * prompt_mean),
         output=LengthSampler(mean=output_mean, cv=0.5, hi=4 * output_mean),
@@ -114,6 +130,19 @@ def make_trace(
         return poisson_trace(rate_rps, n_requests, seed=seed, **samplers)
     if kind == "bursty":
         return bursty_trace(rate_rps, n_requests, seed=seed, **samplers)
+    if kind == "shared_prefix":
+        return shared_prefix_trace(
+            rate_rps, n_requests, system_tokens=2 * prompt_mean,
+            seed=seed, **samplers)
+    if kind == "chat":
+        turns = 4
+        trace = multi_turn_chat_trace(
+            n_sessions=-(-n_requests // turns), turns=turns,
+            rate_rps=rate_rps / turns, system_tokens=prompt_mean,
+            user=LengthSampler(mean=prompt_mean, cv=0.5,
+                               hi=4 * prompt_mean),
+            output=samplers["output"], seed=seed)
+        return trace[:n_requests]
     raise ValueError(f"unknown trace kind {kind!r}; "
                      f"expected one of {TRACE_KINDS}")
 
@@ -161,6 +190,7 @@ def simulate_mode(
     engine: Optional[ComputeEngine] = None,
     admission: str = "reserve",
     block_tokens: int = 16,
+    prefix_caching: bool = False,
 ) -> ServingReport:
     """Simulate one serving mode on an open-loop trace.
 
@@ -169,6 +199,9 @@ def simulate_mode(
     a fixed byte count.  ``admission`` selects worst-case reservations
     (``"reserve"``) or paged block allocation with recompute preemption
     (``"paged"``, pool carved into ``block_tokens``-token blocks).
+    ``prefix_caching=True`` (paged only) shares KV blocks across
+    common prompt prefixes; pair it with an id-carrying trace kind
+    (``shared_prefix`` / ``chat``) or every lookup misses.
     """
     config = config or llama_7b()
     engine = engine or ComputeEngine(spec)
@@ -181,8 +214,11 @@ def simulate_mode(
     scheduler = ContinuousBatchScheduler(budget, token_budget=token_budget,
                                          max_seqs=max_seqs,
                                          admission=admission,
-                                         block_tokens=block_tokens)
+                                         block_tokens=block_tokens,
+                                         prefix_caching=prefix_caching)
     name = mode if admission == "reserve" else f"{mode}/{admission}"
+    if prefix_caching:
+        name += "+prefix"
     cost_model = make_cost_model(engine, config, mode)
     return ServingSimulator(scheduler, cost_model, name=name).run(trace)
 
@@ -280,6 +316,60 @@ def admission_comparison(
     return result
 
 
+def prefix_comparison(
+    spec: GPUSpec = RTX4090,
+    config: Optional[LlamaConfig] = None,
+    modes: Sequence[str] = ("fp16", "kv-cq-4"),
+    prefix_settings: Sequence[bool] = (False, True),
+    trace_kind: str = "chat",
+    engine: Optional[ComputeEngine] = None,
+    reports: Optional[dict] = None,
+    **kwargs,
+) -> ExperimentResult:
+    """Prefix caching on/off per KV scheme, equal HBM, paged admission.
+
+    The interaction the prefix subsystem exists for: caching removes
+    prefill work proportional to the hit rate, and *compression* sets
+    how deep a tree the pool can keep resident — at equal HBM a CQ-4
+    cache holds ~4x the blocks of FP16, so under memory pressure it
+    sustains a higher hit rate on the same sessionized trace.  Rows
+    are (mode, prefix) pairs keyed ``mode[+prefix]`` in ``reports``;
+    extra keyword arguments go to :func:`simulate_mode`.
+    """
+    config = config or llama_7b()
+    engine = engine or ComputeEngine(spec)
+    result = ExperimentResult(
+        experiment_id="serving_prefix",
+        title=f"Prefix caching on {spec.name} ({config.name}, "
+              f"{trace_kind} trace, equal KV HBM budget)",
+        columns=("mode", "prefix", "req/s", "ttft_p50_ms", "hit_rate",
+                 "cached_frac", "evicted"),
+    )
+    reports = reports if reports is not None else {}
+    for mode in modes:
+        for prefix in prefix_settings:
+            rep = simulate_mode(mode, spec=spec, config=config,
+                                engine=engine, admission="paged",
+                                trace_kind=trace_kind,
+                                prefix_caching=prefix, **kwargs)
+            key = f"{mode}+prefix" if prefix else mode
+            reports[key] = rep
+            result.add_row(mode, "on" if prefix else "off",
+                           rep.throughput_rps, rep.ttft_s(50) * 1e3,
+                           rep.prefix_hit_rate,
+                           rep.cached_token_fraction,
+                           rep.n_evicted_blocks)
+        if {True, False} <= set(prefix_settings):
+            off, on = reports[mode], reports[f"{mode}+prefix"]
+            if off.ttft_s(50) > 0:
+                result.notes.append(
+                    f"{mode}: prefix caching serves "
+                    f"{on.cached_token_fraction:.0%} of prompt tokens "
+                    f"from cache, TTFT p50 {off.ttft_s(50) * 1e3:.1f} -> "
+                    f"{on.ttft_s(50) * 1e3:.1f} ms")
+    return result
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point: ``python -m repro.bench.serving``."""
     parser = argparse.ArgumentParser(
@@ -292,8 +382,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         default=["fp16", "kv-cq-4", "kv-cq-2"],
                         choices=list(SERVING_MODES), metavar="MODE",
                         help=f"serving modes to compare {SERVING_MODES}")
-    parser.add_argument("--trace", default="poisson", choices=TRACE_KINDS,
-                        help="arrival process")
+    parser.add_argument("--trace", "--trace-kind", default=None,
+                        choices=TRACE_KINDS, dest="trace",
+                        help="arrival process (shared_prefix/chat carry "
+                             "token ids for prefix caching); default "
+                             "poisson, or chat under --prefix-caching")
     parser.add_argument("--rate", type=float, default=16.0,
                         help="offered arrival rate, requests/s")
     parser.add_argument("--requests", type=int, default=64,
@@ -319,11 +412,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--block-tokens", type=int, default=16,
                         help="token slots per KV block under paged "
                              "admission")
+    parser.add_argument("--prefix-caching", action="store_true",
+                        help="share KV blocks across common prompt "
+                             "prefixes (switches to the prefix on/off "
+                             "comparison table; implies paged admission)")
     parser.add_argument("--seed", type=int, default=0,
                         help="trace RNG seed")
     parser.add_argument("--verbose", action="store_true",
                         help="print per-mode report summaries")
     args = parser.parse_args(argv)
+    # A prefix comparison on an id-less trace cannot hit: default to
+    # the chat workload unless the user picked a trace explicitly.
+    trace_kind = args.trace or ("chat" if args.prefix_caching
+                                else "poisson")
 
     spec = get_spec(args.gpu)
     config = llama_7b()
@@ -332,25 +433,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         kv_hbm_gb=args.kv_gb, rate_rps=args.rate, n_requests=args.requests,
         prompt_mean=args.prompt_mean, output_mean=args.output_mean,
         token_budget=args.token_budget, max_seqs=args.max_seqs,
-        seed=args.seed, trace_kind=args.trace,
+        seed=args.seed,
         block_tokens=args.block_tokens,
     )
-    stats = trace_stats(make_trace(args.trace, args.rate, args.requests,
+    stats = trace_stats(make_trace(trace_kind, args.rate, args.requests,
                                    args.prompt_mean, args.output_mean,
                                    seed=args.seed))
-    print(f"trace: {args.trace}, {stats['n_requests']} requests, "
+    print(f"trace: {trace_kind}, {stats['n_requests']} requests, "
           f"{stats['offered_rps']:.1f} req/s offered, "
           f"mean prompt {stats['mean_prompt_tokens']:.0f} / "
           f"output {stats['mean_output_tokens']:.0f} tokens")
     reports: dict = {}
-    if len(args.admission) > 1:
+    if args.prefix_caching:
+        table = prefix_comparison(spec=spec, config=config, engine=engine,
+                                  modes=args.modes, trace_kind=trace_kind,
+                                  reports=reports, **workload)
+    elif len(args.admission) > 1:
         table = admission_comparison(spec=spec, config=config,
                                      engine=engine, modes=args.modes,
                                      admissions=args.admission,
+                                     trace_kind=trace_kind,
                                      reports=reports, **workload)
     else:
         table = serving_comparison(spec=spec, config=config, engine=engine,
                                    modes=args.modes, reports=reports,
+                                   trace_kind=trace_kind,
                                    admission=args.admission[0], **workload)
     if args.verbose:
         for rep in reports.values():

@@ -22,7 +22,12 @@ Routing policies:
 - ``least-kv`` — join the replica with the lowest KV-cache *pressure*
   (reserved plus queued worst-case tokens over budget), which is the
   policy that understands what compression changes: a VQ replica under
-  the same byte budget reports a fraction of the FP16 pressure.
+  the same byte budget reports a fraction of the FP16 pressure;
+- ``prefix-affinity`` — consistent-hash each request's session to a
+  replica, so every turn of a chat session lands where its prefix tree
+  is already warm.  Load-oblivious routing costs some balance; the
+  payoff is the fleet-wide prefix hit rate, which load-based policies
+  destroy by scattering a session's turns across replicas.
 
 The fleet-level deliverable is :class:`FleetReport` and its
 SLO-conditioned metrics (:meth:`FleetReport.goodput_rps`,
@@ -34,6 +39,8 @@ in (GPUs, not microseconds).
 
 from __future__ import annotations
 
+import bisect
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -197,11 +204,60 @@ class LeastKVPressurePolicy(RouterPolicy):
         return min(candidates, key=lambda i: (replicas[i].kv_pressure, i))
 
 
+class PrefixAffinityPolicy(RouterPolicy):
+    """Consistent-hash sessions to replicas to keep prefix trees warm.
+
+    Each replica owns ``vnodes`` points on a hash ring; a request's
+    session key (``session_id``, falling back to ``req_id`` for
+    sessionless requests) routes to the owner of the first point at or
+    after its hash.  Consistent hashing — rather than
+    ``hash % n_replicas`` — keeps most sessions in place when the
+    candidate set shrinks (a replica whose budget cannot fit the
+    request drops out of the ring for that request only, and only its
+    sessions move).
+    """
+
+    name = "prefix-affinity"
+
+    def __init__(self, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._ring: List[tuple] = []
+        self._ring_size = 0
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return int.from_bytes(
+            hashlib.sha1(key.encode()).digest()[:8], "big")
+
+    def _build_ring(self, n_replicas: int) -> None:
+        points = [(self._hash(f"replica-{r}:vnode-{v}"), r)
+                  for r in range(n_replicas) for v in range(self.vnodes)]
+        self._ring = sorted(points)
+        self._ring_size = n_replicas
+
+    def choose(self, request, replicas, candidates):
+        if self._ring_size != len(replicas):
+            self._build_ring(len(replicas))
+        key = (request.session_id if request.session_id is not None
+               else request.req_id)
+        h = self._hash(f"session-{key}")
+        allowed = set(candidates)
+        start = bisect.bisect_left(self._ring, (h, -1))
+        for off in range(len(self._ring)):
+            _, replica = self._ring[(start + off) % len(self._ring)]
+            if replica in allowed:
+                return replica
+        return candidates[0]  # pragma: no cover - candidates non-empty
+
+
 #: Policy constructors by name (fresh instance per call).
 POLICIES = {
     "round-robin": RoundRobinPolicy,
     "jsq": JoinShortestQueuePolicy,
     "least-kv": LeastKVPressurePolicy,
+    "prefix-affinity": PrefixAffinityPolicy,
 }
 
 
@@ -234,12 +290,31 @@ class FleetReport:
     #: utilization, recompute preemptions).
     replica_stats: List[tuple] = field(default_factory=list)
     n_rejected: int = 0
+    #: Whether any replica ran with prefix caching enabled.
+    prefix_caching: bool = False
+    #: Prefix-cache counters summed across replicas.
+    prefix_lookups: int = 0
+    prefix_lookup_hits: int = 0
+    prefix_hit_tokens: int = 0
+    prefix_miss_tokens: int = 0
+    n_evicted_blocks: int = 0
 
     @property
     def n_preempted(self) -> int:
         """Recompute preemptions across all replicas (paged admission)."""
         return sum(stats[3] for stats in self.replica_stats
                    if len(stats) > 3)
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fleet-wide fraction of admissions hitting the prefix cache."""
+        return self.prefix_lookup_hits / max(1, self.prefix_lookups)
+
+    @property
+    def cached_token_fraction(self) -> float:
+        """Fleet-wide fraction of prompt tokens served from caches."""
+        total = self.prefix_hit_tokens + self.prefix_miss_tokens
+        return self.prefix_hit_tokens / max(1, total)
 
     @property
     def n_requests(self) -> int:
@@ -311,6 +386,11 @@ class FleetReport:
             f"  latency    : p50 {self.latency_s(50):6.2f} s, "
             f"p95 {self.latency_s(95):6.2f} s",
         ]
+        if self.prefix_caching:
+            lines.append(
+                f"  prefix     : {self.prefix_hit_rate:.0%} admissions "
+                f"hit, {self.cached_token_fraction:.0%} of prompt tokens "
+                f"cached, {self.n_evicted_blocks} blocks evicted")
         for rid, (routed, iters, peak, *rest) in enumerate(
                 self.replica_stats):
             line = (f"  replica {rid}  : {routed:4d} requests, "
@@ -387,6 +467,11 @@ class FleetSimulator:
             for rep in replicas for s in rep.finished
         ]
         records.sort(key=lambda r: r.req_id)
+        prefix = [
+            stats for rep in replicas
+            if getattr(rep.scheduler, "prefix_caching", False)
+            and (stats := rep.scheduler.prefix_stats()) is not None
+        ]
         return FleetReport(
             name=self.name,
             policy=self.policy.name,
@@ -398,6 +483,12 @@ class FleetSimulator:
                             rep.scheduler.n_preemptions)
                            for rep in replicas],
             n_rejected=len(rejected),
+            prefix_caching=bool(prefix),
+            prefix_lookups=sum(p.n_lookups for p in prefix),
+            prefix_lookup_hits=sum(p.n_lookup_hits for p in prefix),
+            prefix_hit_tokens=sum(p.hit_tokens for p in prefix),
+            prefix_miss_tokens=sum(p.miss_tokens for p in prefix),
+            n_evicted_blocks=sum(p.n_evicted_blocks for p in prefix),
         )
 
 

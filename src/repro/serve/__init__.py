@@ -17,6 +17,11 @@ budget:
 - :mod:`repro.serve.paging` — the block pool behind paged admission
   (:class:`~repro.serve.paging.PagedKVAllocator`: free-list
   accounting, fragmentation stats);
+- :mod:`repro.serve.prefix` — shared-prefix KV reuse over that pool
+  (``prefix_caching=True``): a radix tree of ref-counted,
+  rolling-hash-keyed blocks with LRU eviction and copy-on-write, so
+  requests sharing a system prompt or chat history skip the prefill
+  work for the cached prefix;
 - :mod:`repro.serve.costs` — prices one scheduler iteration through the
   memoized :meth:`~repro.core.engine.ComputeEngine.batch_latency_us`;
 - :mod:`repro.serve.simulator` — the discrete-event loop and the
@@ -30,12 +35,20 @@ ready-made FP16-vs-VQ comparisons.
 
 from repro.serve.costs import StepCostModel
 from repro.serve.paging import PagedKVAllocator, PagingStats
+from repro.serve.prefix import (
+    PrefixCache,
+    PrefixCachingAllocator,
+    PrefixStats,
+    rolling_hash,
+)
 from repro.serve.requests import (
     LengthSampler,
     Request,
     bursty_trace,
+    multi_turn_chat_trace,
     poisson_trace,
     replayed_trace,
+    shared_prefix_trace,
     trace_stats,
 )
 from repro.serve.scheduler import (
@@ -62,6 +75,9 @@ __all__ = [
     "LengthSampler",
     "PagedKVAllocator",
     "PagingStats",
+    "PrefixCache",
+    "PrefixCachingAllocator",
+    "PrefixStats",
     "Request",
     "RequestRecord",
     "SequenceState",
@@ -71,8 +87,11 @@ __all__ = [
     "bursty_trace",
     "kv_bytes_per_token",
     "kv_codebook_bytes",
+    "multi_turn_chat_trace",
     "percentile",
     "poisson_trace",
     "replayed_trace",
+    "rolling_hash",
+    "shared_prefix_trace",
     "trace_stats",
 ]

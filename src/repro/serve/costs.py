@@ -20,6 +20,15 @@ geometric grid) before keying the engine cache, so a simulation of
 thousands of iterations evaluates only a few dozen distinct kernels —
 everything else is a cache hit.  Bucketing rounds *up*, making the
 model slightly conservative rather than optimistic.
+
+Prefix caching needs no special handling here: the scheduler credits
+cached prompt tokens as already prefilled, so :meth:`~StepCostModel.
+prefill_us` is only ever called for the uncached suffix — with
+``context_tokens`` covering the cached prefix, which charges exactly
+the suffix queries' attention over the full (cached + new) context and
+no GEMM/attention work for the cached tokens themselves.  Cached
+tokens still count toward decode context length, priced as usual by
+:meth:`~StepCostModel.decode_step_us`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,506 @@
+"""Shared-prefix KV reuse: a radix tree of ref-counted paged blocks.
+
+:mod:`repro.serve.paging` treats KV blocks as interchangeable counts;
+this module gives them *identity* so requests that share a prompt
+prefix — thousands of requests behind one system prompt, or a chat
+session re-sending its whole history every turn — can share the blocks
+instead of recomputing them (vLLM's automatic prefix caching, SGLang's
+radix attention).
+
+Design:
+
+- **Block identity.**  A cached block is one radix-tree node holding
+  exactly ``block_tokens`` token ids.  Nodes are keyed by a *rolling
+  hash* chained from the parent (:func:`rolling_hash`), so looking up a
+  prompt is one hash-and-compare per block; stored token ids are
+  verified on every hop, so a hash collision degrades to a miss, never
+  to a wrong hit.
+- **Ref counting.**  Matching a prompt locks the matched path
+  (``ref += 1`` on every node); ``release`` unlocks it.  Referenced
+  blocks are pinned; because locks are always path prefixes, a
+  referenced node's ancestors are referenced too, so the unreferenced
+  nodes form downward-closed subtrees.
+- **LRU eviction.**  Unreferenced *leaves* are evicted
+  least-recently-used when the free list cannot cover an allocation —
+  cached blocks are a second-class tenant of the pool: resident while
+  memory is idle, reclaimed the moment a live sequence needs the block.
+- **Copy-on-write.**  Only *full* blocks are shared, and at least one
+  prompt token must always be recomputed (its logits feed the
+  sampler).  When the block holding that tail is itself cached — the
+  prompt's next block matches a tree node exactly, typically because
+  the whole prompt is cached — the sequence cannot extend the shared
+  copy in place: it recomputes those tokens into a *private copy* of
+  the cached block (``n_cow_copies`` in the stats).  A prompt that
+  *diverges* inside a block shares nothing there — that is a plain
+  miss, not a COW.
+
+:class:`PrefixCachingAllocator` extends
+:class:`~repro.serve.paging.PagedKVAllocator` with the tree while
+keeping its interface, so
+:class:`~repro.serve.scheduler.ContinuousBatchScheduler` under
+``prefix_caching=True`` reuses the paged admission/preemption machinery
+unchanged: ``holds`` counts shared + private blocks, ``free_blocks``
+counts truly-free *plus evictable* blocks, and the conservation
+invariant ``used + free == total`` still holds with ``used`` = blocks
+referenced by live sequences.
+
+Compression interacts directly: a CQ-4 pool holds ~4x the FP16 block
+count at equal HBM, so at equal memory the compressed cache sustains a
+much deeper shared-prefix tree before eviction sets in — higher hit
+rates on the same workload, which is the headline
+``examples/prefix_caching.py`` checks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.paging import PagedKVAllocator, PagingStats
+
+#: Multiplier/modulus of the polynomial rolling hash (64-bit prime
+#: modulus; the multiplier is a large odd constant well-spread mod 2^61).
+_HASH_MULT = 1_000_003
+_HASH_MOD = (1 << 61) - 1
+
+
+def rolling_hash(parent_hash: int, tokens: Sequence[int]) -> int:
+    """Chained polynomial hash of one block's token ids.
+
+    The parent's hash seeds the polynomial, so equal blocks at
+    different tree positions hash differently — a block's identity is
+    its *full prefix*, not just its own tokens.
+    """
+    h = parent_hash
+    for t in tokens:
+        h = (h * _HASH_MULT + int(t) + 1) % _HASH_MOD
+    return h
+
+
+class _RadixNode:
+    """One cached full block: token ids plus tree and LRU bookkeeping."""
+
+    __slots__ = ("key", "tokens", "parent", "children", "ref", "last_used")
+
+    def __init__(self, key: int, tokens: Tuple[int, ...],
+                 parent: Optional["_RadixNode"]):
+        self.key = key
+        self.tokens = tokens
+        self.parent = parent
+        self.children: Dict[int, _RadixNode] = {}
+        self.ref = 0
+        self.last_used = 0
+
+
+@dataclass(frozen=True)
+class PrefixStats:
+    """Cumulative hit/miss/evict counters of a prefix cache."""
+
+    #: Prompt lookups performed (one per admission of an id-carrying
+    #: request, including re-admissions after preemption).
+    n_lookups: int
+    #: Lookups that matched at least one cached block.
+    n_lookup_hits: int
+    #: Prompt tokens served from cache across all lookups.
+    hit_tokens: int
+    #: Prompt tokens that had to be prefilled.
+    miss_tokens: int
+    #: Cached blocks reclaimed by LRU eviction.
+    n_evicted_blocks: int
+    #: Private copies of *cached* blocks: the prompt's next block was
+    #: in the tree but had to be recomputed privately because the
+    #: prompt ends inside it (at least the final token's logits are
+    #: always recomputed).  In-block divergence is a miss, not a COW.
+    n_cow_copies: int
+    #: Full blocks inserted into the tree by sequence release.
+    n_committed_blocks: int
+    #: Tree blocks currently resident (referenced + evictable).
+    cached_blocks: int
+    #: Tree blocks currently referenced by live sequences.
+    referenced_blocks: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit at least one block."""
+        return self.n_lookup_hits / max(1, self.n_lookups)
+
+    @property
+    def cached_token_fraction(self) -> float:
+        """Fraction of looked-up prompt tokens served from cache."""
+        return self.hit_tokens / max(1, self.hit_tokens + self.miss_tokens)
+
+
+class PrefixCache:
+    """Radix tree over full KV blocks with ref counts and LRU eviction.
+
+    Pure tree logic — which blocks exist, which are locked, which to
+    evict; pool accounting (how many blocks memory affords) lives in
+    :class:`PrefixCachingAllocator`.  ``block_tokens`` is the node
+    granularity; only exact multiples are ever stored.
+    """
+
+    def __init__(self, block_tokens: int):
+        if block_tokens < 1:
+            raise ValueError("block_tokens must be >= 1")
+        self.block_tokens = block_tokens
+        self._root = _RadixNode(key=0, tokens=(), parent=None)
+        self._n_nodes = 0
+        self._n_referenced = 0
+        self._tick = 0
+
+    # -- size ----------------------------------------------------------
+    @property
+    def n_blocks(self) -> int:
+        """Resident tree blocks (each occupies one pool block)."""
+        return self._n_nodes
+
+    @property
+    def n_referenced(self) -> int:
+        """Tree blocks locked by at least one live sequence."""
+        return self._n_referenced
+
+    @property
+    def n_evictable(self) -> int:
+        """Tree blocks reclaimable (transitively: unreferenced subtrees
+        fall leaf-by-leaf, and locks are path prefixes, so every
+        unreferenced block is eventually evictable)."""
+        return self._n_nodes - self._n_referenced
+
+    # -- lookup --------------------------------------------------------
+    def _walk(self, token_ids: Sequence[int],
+              max_blocks: int) -> List[_RadixNode]:
+        bt = self.block_tokens
+        node = self._root
+        path: List[_RadixNode] = []
+        for b in range(max_blocks):
+            tokens = tuple(token_ids[b * bt:(b + 1) * bt])
+            child = node.children.get(rolling_hash(node.key, tokens))
+            if child is None or child.tokens != tokens:
+                break
+            path.append(child)
+            node = child
+        return path
+
+    def match(self, token_ids: Sequence[int],
+              max_blocks: int) -> List[_RadixNode]:
+        """Longest cached full-block prefix of ``token_ids`` (deepest
+        first ``<= max_blocks`` blocks), LRU-touched but *not* locked."""
+        path = self._walk(token_ids, max_blocks)
+        self._tick += 1
+        for node in path:
+            node.last_used = self._tick
+        return path
+
+    # -- ref counting --------------------------------------------------
+    def lock(self, nodes: Sequence[_RadixNode]) -> None:
+        """Pin ``nodes`` (a root-down path) against eviction."""
+        for node in nodes:
+            if node.ref == 0:
+                self._n_referenced += 1
+            node.ref += 1
+
+    def unlock(self, nodes: Sequence[_RadixNode]) -> None:
+        """Drop one reference from each of ``nodes``."""
+        for node in nodes:
+            if node.ref < 1:  # pragma: no cover - internal misuse
+                raise RuntimeError("unlock of an unreferenced block")
+            node.ref -= 1
+            if node.ref == 0:
+                self._n_referenced -= 1
+
+    # -- insertion -----------------------------------------------------
+    def insert(self, token_ids: Sequence[int],
+               n_blocks: int) -> Tuple[int, int]:
+        """Ensure the first ``n_blocks`` full blocks of ``token_ids``
+        are in the tree.
+
+        Returns ``(created, duplicates)``: blocks newly added (the
+        caller donates one pool block each) and blocks already present
+        beyond the walk the caller knew about (the caller frees its
+        private copies — concurrent requests that missed the same
+        prefix converge on one resident copy).
+        """
+        bt = self.block_tokens
+        node = self._root
+        created = 0
+        dups = 0
+        self._tick += 1
+        for b in range(n_blocks):
+            tokens = tuple(token_ids[b * bt:(b + 1) * bt])
+            key = rolling_hash(node.key, tokens)
+            child = node.children.get(key)
+            if child is not None and child.tokens == tokens:
+                dups += 1
+            else:
+                if child is not None:
+                    # Hash collision: keep the resident block, treat
+                    # the new one as uncacheable from here down.
+                    break
+                child = _RadixNode(key=key, tokens=tokens, parent=node)
+                node.children[key] = child
+                self._n_nodes += 1
+                created += 1
+            child.last_used = self._tick
+            node = child
+        return created, dups
+
+    # -- eviction ------------------------------------------------------
+    def evict_lru(self, n: int) -> int:
+        """Evict up to ``n`` unreferenced leaves, least recently used
+        first (evicting a leaf may expose its parent).  Returns the
+        number of blocks actually reclaimed.
+
+        One DFS collects every evictable leaf into a ``last_used``
+        heap; parents join the heap as their last child falls — so a
+        bulk reclaim costs one tree walk plus a heap pop per block,
+        not a fresh walk per block.  Ties on ``last_used`` break by
+        DFS discovery order, which is deterministic.
+        """
+        if n <= 0:
+            return 0
+        heap: List[tuple] = []
+        order = itertools.count()
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for child in node.children.values():
+                if child.children:
+                    stack.append(child)
+                elif child.ref == 0:
+                    heapq.heappush(heap,
+                                   (child.last_used, next(order), child))
+        evicted = 0
+        while evicted < n and heap:
+            _, _, victim = heapq.heappop(heap)
+            parent = victim.parent
+            del parent.children[victim.key]
+            self._n_nodes -= 1
+            evicted += 1
+            if (parent is not self._root and not parent.children
+                    and parent.ref == 0):
+                heapq.heappush(heap,
+                               (parent.last_used, next(order), parent))
+        return evicted
+
+
+class PrefixCachingAllocator(PagedKVAllocator):
+    """Paged allocator whose blocks can be shared through a radix tree.
+
+    Accounting (the conservation invariant stays
+    ``used_blocks + free_blocks == total_blocks``):
+
+    - *private* blocks — held by exactly one sequence (its uncached
+      suffix and generated tokens), tracked by the parent class;
+    - *shared* blocks — tree nodes locked by ``match_and_lock``; they
+      count once in ``used_blocks`` no matter how many sequences hold
+      them;
+    - *evictable* blocks — unreferenced tree nodes; counted in
+      ``free_blocks`` because :meth:`ensure` reclaims them on demand,
+      so admission sees the capacity it can actually get.
+
+    ``release(owner, token_ids=...)`` commits the owner's full private
+    blocks into the tree instead of freeing them — that is how the
+    cache warms — and drops the owner's locks on shared blocks.
+    """
+
+    def __init__(self, total_blocks: int, block_tokens: int,
+                 bytes_per_block: float = 0.0):
+        super().__init__(total_blocks, block_tokens, bytes_per_block)
+        self.cache = PrefixCache(block_tokens)
+        self._shared: Dict[int, List[_RadixNode]] = {}
+        self.n_lookups = 0
+        self.n_lookup_hits = 0
+        self.hit_tokens = 0
+        self.miss_tokens = 0
+        self.n_evicted_blocks = 0
+        self.n_cow_copies = 0
+        self.n_committed_blocks = 0
+
+    # -- accounting overrides ------------------------------------------
+    @property
+    def used_blocks(self) -> int:
+        """Blocks referenced by live sequences (private + shared,
+        shared counted once)."""
+        return self._used_blocks + self.cache.n_referenced
+
+    @property
+    def raw_free_blocks(self) -> int:
+        """Blocks on the free list proper (no eviction needed)."""
+        return (self.total_blocks - self._used_blocks
+                - self.cache.n_blocks)
+
+    @property
+    def resident_fraction(self) -> float:
+        """Fraction of the pool holding bytes — live sequences' blocks
+        *plus* cached-but-unreferenced tree blocks (they are resident
+        HBM until evicted, which is what occupancy should report)."""
+        return ((self._used_blocks + self.cache.n_blocks)
+                / self.total_blocks)
+
+    def holds(self, owner: int) -> int:
+        """Private plus shared blocks backing ``owner``'s tokens."""
+        return (self._held.get(owner, 0)
+                + len(self._shared.get(owner, ())))
+
+    def shared_blocks(self, owner: int) -> int:
+        """Cached blocks ``owner`` is sharing (0 if none)."""
+        return len(self._shared.get(owner, ()))
+
+    # -- prefix lookup -------------------------------------------------
+    def _matchable_blocks(self, token_ids: Sequence[int]) -> int:
+        # At least one prompt token must be computed (its logits feed
+        # the sampler), so a fully cached prompt still recomputes its
+        # last block from a private copy-on-write copy.
+        return max(0, (len(token_ids) - 1) // self.block_tokens)
+
+    def peek(self, token_ids: Sequence[int]) -> int:
+        """Cached-token count a :meth:`match_and_lock` would return,
+        without locking or touching the stats (admission feasibility
+        checks run every scheduling round; only real admissions should
+        count as lookups)."""
+        if not token_ids:
+            return 0
+        path = self.cache._walk(token_ids, self._matchable_blocks(token_ids))
+        return len(path) * self.block_tokens
+
+    def match_and_lock(self, owner: int, token_ids: Sequence[int]) -> int:
+        """Match ``token_ids`` against the tree, lock the matched path
+        for ``owner``, and return the cached token count.
+
+        The owner must hold nothing yet (fresh admission or re-admission
+        after a preemption released everything).
+        """
+        if self.holds(owner) != 0:
+            raise RuntimeError(f"owner {owner!r} already holds blocks")
+        if not token_ids:
+            return 0
+        matchable = self._matchable_blocks(token_ids)
+        path = self.cache.match(token_ids, matchable)
+        # Copy-on-write: the prompt diverges (or ends) inside the next
+        # block — if that block is cached, a shared copy cannot be
+        # extended in place, so the sequence recomputes those tokens
+        # into a private copy.
+        bt = self.block_tokens
+        if len(path) == matchable:
+            # The un-matchable tail is never empty: matchable is capped
+            # at (len(token_ids) - 1) // bt.
+            tail = tuple(token_ids[matchable * bt:(matchable + 1) * bt])
+            parent = path[-1] if path else self.cache._root
+            child = parent.children.get(rolling_hash(parent.key, tail))
+            if child is not None and child.tokens == tail:
+                self.n_cow_copies += 1
+        self.cache.lock(path)
+        if path:
+            self._shared[owner] = path
+        cached = len(path) * bt
+        self.n_lookups += 1
+        if path:
+            self.n_lookup_hits += 1
+        self.hit_tokens += cached
+        self.miss_tokens += len(token_ids) - cached
+        if cached > 0:
+            self._used_tokens[owner] = cached
+        return cached
+
+    # -- allocation override -------------------------------------------
+    def ensure(self, owner: int, tokens: int) -> bool:
+        """Grow ``owner`` to ``tokens`` live tokens, evicting
+        unreferenced cached blocks LRU when the free list runs short."""
+        need = self.blocks_for_tokens(tokens) - self.holds(owner)
+        if need > self.raw_free_blocks:
+            evicted = self.cache.evict_lru(need - self.raw_free_blocks)
+            self.n_evicted_blocks += evicted
+        if need > self.raw_free_blocks:
+            return False
+        if need > 0:
+            self._held[owner] = self._held.get(owner, 0) + need
+            self._used_blocks += need
+            self.peak_used_blocks = max(self.peak_used_blocks,
+                                        self.used_blocks)
+        if tokens > self._used_tokens.get(owner, 0):
+            self._used_tokens[owner] = tokens
+        return True
+
+    # -- release / commit ----------------------------------------------
+    def release(self, owner: int,
+                token_ids: Optional[Sequence[int]] = None) -> int:
+        """Unlock ``owner``'s shared blocks and free its private ones —
+        after committing every full private block whose ids are known
+        (``token_ids`` = the ids of the owner's resident tokens, prompt
+        first) into the tree, where it stays resident as cached.
+
+        Returns the number of blocks returned to the free list (blocks
+        that became cached are resident, not free).
+        """
+        shared = self._shared.pop(owner, [])
+        if token_ids:
+            bt = self.block_tokens
+            live = min(len(token_ids), self._used_tokens.get(owner, 0))
+            committable = live // bt
+            if committable > len(shared):
+                created, dups = self.cache.insert(token_ids, committable)
+                # Committed blocks leave the owner's private count:
+                # created ones transfer into the tree (still resident),
+                # duplicates collapse onto the resident copy (freed).
+                moved = created + max(0, dups - len(shared))
+                moved = min(moved, self._held.get(owner, 0))
+                if moved:
+                    self._held[owner] = self._held.get(owner, 0) - moved
+                    self._used_blocks -= moved
+                self.n_committed_blocks += created
+        self.cache.unlock(shared)
+        self._used_tokens.pop(owner, None)
+        freed = self._held.pop(owner, 0)
+        self._used_blocks -= freed
+        return freed
+
+    # -- stats ---------------------------------------------------------
+    def stats(self) -> PagingStats:
+        """Snapshot with sharing-aware token accounting.
+
+        Shared blocks are full by construction and counted once in
+        ``used_blocks`` even when several owners report them in their
+        token counts, so live slots are each owner's *private* tokens
+        (tokens beyond its shared prefix) plus one full block per
+        referenced tree node — keeping ``fragmentation`` in [0, 1].
+        """
+        bt = self.block_tokens
+        private_live = sum(
+            max(0, tokens - len(self._shared.get(owner, ())) * bt)
+            for owner, tokens in self._used_tokens.items())
+        return PagingStats(
+            total_blocks=self.total_blocks,
+            used_blocks=self.used_blocks,
+            free_blocks=self.free_blocks,
+            block_tokens=bt,
+            peak_used_blocks=self.peak_used_blocks,
+            n_owners=len(set(self._held) | set(self._shared)),
+            used_tokens=private_live + self.cache.n_referenced * bt,
+        )
+
+    def prefix_stats(self) -> PrefixStats:
+        """Snapshot of the hit/miss/evict counters."""
+        return PrefixStats(
+            n_lookups=self.n_lookups,
+            n_lookup_hits=self.n_lookup_hits,
+            hit_tokens=self.hit_tokens,
+            miss_tokens=self.miss_tokens,
+            n_evicted_blocks=self.n_evicted_blocks,
+            n_cow_copies=self.n_cow_copies,
+            n_committed_blocks=self.n_committed_blocks,
+            cached_blocks=self.cache.n_blocks,
+            referenced_blocks=self.cache.n_referenced,
+        )
+
+    def check_conservation(self) -> None:
+        """Assert the pool partition: private + tree + free == total.
+
+        Called by tests and the self-checking example; raises
+        ``AssertionError`` on any leak.
+        """
+        assert (self._used_blocks + self.cache.n_blocks
+                + self.raw_free_blocks == self.total_blocks)
+        assert self.used_blocks + self.free_blocks == self.total_blocks
+        assert self.cache.n_referenced <= self.cache.n_blocks

@@ -1,7 +1,7 @@
 """Request traces for the serving simulator.
 
 A trace is a list of :class:`Request` objects sorted by arrival time.
-Three arrival processes are provided:
+Five arrival processes are provided:
 
 - :func:`poisson_trace` — memoryless arrivals at a constant offered
   rate, the standard open-loop serving benchmark;
@@ -9,12 +9,24 @@ Three arrival processes are provided:
   alternating between a calm and a burst rate, which is what production
   traffic looks like at minute granularity;
 - :func:`replayed_trace` — explicit timestamps and lengths, for
-  replaying measured production traces.
+  replaying measured production traces;
+- :func:`shared_prefix_trace` — every request starts with the same
+  system prompt (synthesized token ids), the workload automatic prefix
+  caching exists for;
+- :func:`multi_turn_chat_trace` — sessions of consecutive turns where
+  turn *k*'s prompt is the concatenated history (system prompt, earlier
+  user messages *and* earlier assistant outputs), so a prefix cache can
+  serve all but the newest user message from memory.
 
 Prompt and output lengths come from a clipped lognormal
 (:class:`LengthSampler`): LLM serving length distributions are
 heavy-tailed — most prompts are short, a few are near the context
 limit — and the tail is what stresses KV-cache capacity.
+
+The session-aware generators synthesize deterministic *token ids*
+(``Request.prompt_ids`` / ``Request.output_ids``) so block hashing in
+:mod:`repro.serve.prefix` is meaningful; the classic generators leave
+them ``None`` and behave exactly as before.
 
 Everything is deterministic given a seed.
 """
@@ -23,7 +35,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,6 +51,18 @@ class Request:
     prompt_tokens: int
     #: Number of tokens to generate (decode work).
     output_tokens: int
+    #: Synthesized prompt token ids (``len == prompt_tokens``), only
+    #: set by the session-aware generators; ``None`` disables prefix
+    #: caching for this request.
+    prompt_ids: Optional[Tuple[int, ...]] = None
+    #: Synthesized output token ids (``len == output_tokens``), so a
+    #: later turn's prompt can embed this turn's generated history.
+    output_ids: Optional[Tuple[int, ...]] = None
+    #: Chat-session identity (``None`` for standalone requests); the
+    #: ``prefix-affinity`` fleet router hashes on it.
+    session_id: Optional[int] = None
+    #: Turn index within the session (0 for the first or only turn).
+    turn: int = 0
 
     def __post_init__(self):
         if self.prompt_tokens < 1:
@@ -47,6 +71,14 @@ class Request:
             raise ValueError("output_tokens must be >= 1")
         if self.arrival_s < 0:
             raise ValueError("arrival_s must be >= 0")
+        if (self.prompt_ids is not None
+                and len(self.prompt_ids) != self.prompt_tokens):
+            raise ValueError("prompt_ids must have prompt_tokens entries")
+        if (self.output_ids is not None
+                and len(self.output_ids) != self.output_tokens):
+            raise ValueError("output_ids must have output_tokens entries")
+        if self.turn < 0:
+            raise ValueError("turn must be >= 0")
 
     @property
     def total_tokens(self) -> int:
@@ -182,6 +214,139 @@ def replayed_trace(
     base = min(arrivals_s)
     arrivals = [(a - base) * time_scale for a in arrivals_s]
     return _build(arrivals, list(prompt_tokens), list(output_tokens))
+
+
+def _token_ids(rng: np.random.Generator, n: int,
+               vocab: int) -> Tuple[int, ...]:
+    """``n`` synthesized token ids drawn uniformly from the vocabulary."""
+    return tuple(int(t) for t in rng.integers(0, vocab, size=n))
+
+
+def _finish(requests: List[Request]) -> List[Request]:
+    """Sort by arrival and stamp ``req_id`` = arrival rank (ties keep
+    generation order), matching the convention of :func:`_build`."""
+    order = sorted(range(len(requests)),
+                   key=lambda i: (requests[i].arrival_s, i))
+    return [
+        Request(req_id=rank, arrival_s=requests[i].arrival_s,
+                prompt_tokens=requests[i].prompt_tokens,
+                output_tokens=requests[i].output_tokens,
+                prompt_ids=requests[i].prompt_ids,
+                output_ids=requests[i].output_ids,
+                session_id=requests[i].session_id,
+                turn=requests[i].turn)
+        for rank, i in enumerate(order)
+    ]
+
+
+def shared_prefix_trace(
+    rate_rps: float,
+    n_requests: int,
+    system_tokens: int = 512,
+    prompt: LengthSampler = LengthSampler(mean=128),
+    output: LengthSampler = LengthSampler(mean=96),
+    vocab: int = 32000,
+    seed: int = 0,
+) -> List[Request]:
+    """Poisson arrivals that all share one ``system_tokens``-long prefix.
+
+    Every request's prompt is the same synthesized system prompt
+    followed by a unique user message (length from ``prompt``), which is
+    the canonical automatic-prefix-caching workload: after the first
+    request warms the tree, only the user suffix misses.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    if system_tokens < 1:
+        raise ValueError("system_tokens must be >= 1")
+    if vocab < 2:
+        raise ValueError("vocab must be >= 2")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_rps, size=n_requests)
+    arrivals = np.cumsum(gaps) - gaps[0]
+    suffixes = prompt.sample(rng, n_requests)
+    outputs = output.sample(rng, n_requests)
+    system = _token_ids(rng, system_tokens, vocab)
+    requests = []
+    for i in range(n_requests):
+        user = _token_ids(rng, int(suffixes[i]), vocab)
+        requests.append(Request(
+            req_id=i, arrival_s=float(arrivals[i]),
+            prompt_tokens=system_tokens + len(user),
+            output_tokens=int(outputs[i]),
+            prompt_ids=system + user,
+            output_ids=_token_ids(rng, int(outputs[i]), vocab),
+            session_id=i, turn=0))
+    return _finish(requests)
+
+
+def multi_turn_chat_trace(
+    n_sessions: int,
+    turns: int,
+    rate_rps: float = 2.0,
+    think_s: float = 8.0,
+    system_tokens: int = 256,
+    user: LengthSampler = LengthSampler(mean=64),
+    output: LengthSampler = LengthSampler(mean=96),
+    vocab: int = 32000,
+    shared_system: bool = True,
+    seed: int = 0,
+) -> List[Request]:
+    """Chat sessions whose turn-*k* prompt re-sends the whole history.
+
+    Sessions open with Poisson arrivals at ``rate_rps``; within a
+    session, turn *k* arrives an exponential think time (mean
+    ``think_s``) after turn *k-1*.  Turn *k*'s prompt ids are the
+    system prompt, all earlier user messages and *assistant outputs*
+    of the session, then the new user message — so with a prefix cache
+    only the new message (plus, once, the system prompt) needs
+    prefill.  ``shared_system=True`` (an assistant product: one system
+    prompt for everyone) lets sessions share each other's root blocks;
+    ``False`` (per-tenant system prompts) makes every session's tree
+    private, which is the workload where session-affine routing is the
+    difference between hits and misses.  The open-loop trace does not
+    wait for turn *k-1* to complete; if the engine has not finished it
+    by the next arrival the prefix merely misses (a ``think_s`` well
+    above typical completion time makes that rare).
+    """
+    if n_sessions < 1:
+        raise ValueError("n_sessions must be >= 1")
+    if turns < 1:
+        raise ValueError("turns must be >= 1")
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if think_s <= 0:
+        raise ValueError("think_s must be positive")
+    if system_tokens < 1:
+        raise ValueError("system_tokens must be >= 1")
+    if vocab < 2:
+        raise ValueError("vocab must be >= 2")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_rps, size=n_sessions)
+    opens = np.cumsum(gaps) - gaps[0]
+    system = _token_ids(rng, system_tokens, vocab)
+    requests = []
+    for s in range(n_sessions):
+        history = (system if shared_system
+                   else _token_ids(rng, system_tokens, vocab))
+        t = float(opens[s])
+        user_lens = user.sample(rng, turns)
+        out_lens = output.sample(rng, turns)
+        for k in range(turns):
+            msg = _token_ids(rng, int(user_lens[k]), vocab)
+            out = _token_ids(rng, int(out_lens[k]), vocab)
+            prompt_ids = history + msg
+            requests.append(Request(
+                req_id=0, arrival_s=t,
+                prompt_tokens=len(prompt_ids),
+                output_tokens=len(out),
+                prompt_ids=prompt_ids, output_ids=out,
+                session_id=s, turn=k))
+            history = prompt_ids + out
+            t += float(rng.exponential(think_s))
+    return _finish(requests)
 
 
 def trace_stats(trace: List[Request]) -> dict:

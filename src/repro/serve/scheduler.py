@@ -51,6 +51,7 @@ from repro.llm.config import LlamaConfig
 from repro.vq.config import VQConfig
 
 from repro.serve.paging import PagedKVAllocator
+from repro.serve.prefix import PrefixCachingAllocator, PrefixStats
 from repro.serve.requests import Request
 
 #: Admission policies :class:`ContinuousBatchScheduler` understands.
@@ -183,6 +184,9 @@ class SequenceState:
     #: Generated tokens converted back into prefill work by recompute
     #: preemptions (their KV was freed; they re-prefill with the prompt).
     restart_tokens: int = 0
+    #: Prompt tokens served from the prefix cache at the most recent
+    #: admission (they count as prefilled without prefill work).
+    cached_tokens: int = 0
     #: Times this sequence was preempted.
     preemptions: int = 0
     #: Simulation time of admission, first output token, completion.
@@ -287,11 +291,24 @@ class ContinuousBatchScheduler:
         Fraction of the block pool paged admission keeps free as a
         hedge against immediate preemption of a just-admitted sequence
         (vLLM's ``watermark``); ignored for ``"reserve"``.
+    prefix_caching:
+        Share KV blocks across requests with a common prompt prefix
+        (requires ``admission="paged"`` and requests that carry
+        ``prompt_ids``).  Admission matches the prompt against a radix
+        tree of cached blocks
+        (:class:`~repro.serve.prefix.PrefixCachingAllocator`): cached
+        tokens are credited as already prefilled — they skip the
+        prefill GEMM/attention work but still count toward context
+        length for decode attention — and finished/preempted sequences
+        commit their full blocks back into the tree instead of freeing
+        them, where they stay resident until LRU eviction reclaims
+        them for live sequences.
     """
 
     def __init__(self, budget: KVBudget, token_budget: int = 2048,
                  max_seqs: int = 64, admission: str = "reserve",
-                 block_tokens: int = 16, watermark_frac: float = 0.01):
+                 block_tokens: int = 16, watermark_frac: float = 0.01,
+                 prefix_caching: bool = False):
         if token_budget < 1:
             raise ValueError("token_budget must be >= 1")
         if max_seqs < 1:
@@ -301,15 +318,19 @@ class ContinuousBatchScheduler:
                              f"expected one of {ADMISSION_POLICIES}")
         if not 0 <= watermark_frac < 1:
             raise ValueError("watermark_frac must be in [0, 1)")
+        if prefix_caching and admission != "paged":
+            raise ValueError("prefix_caching requires admission='paged'")
         self.budget = budget
         self.token_budget = token_budget
         self.max_seqs = max_seqs
         self.admission = admission
+        self.prefix_caching = prefix_caching
         self.allocator: Optional[PagedKVAllocator] = None
         self._watermark_blocks = 0
         if admission == "paged":
-            self.allocator = PagedKVAllocator.from_budget(budget,
-                                                          block_tokens)
+            alloc_cls = (PrefixCachingAllocator if prefix_caching
+                         else PagedKVAllocator)
+            self.allocator = alloc_cls.from_budget(budget, block_tokens)
             self._watermark_blocks = int(self.allocator.total_blocks
                                          * watermark_frac)
         self.waiting: Deque[Request] = deque()
@@ -375,11 +396,20 @@ class ContinuousBatchScheduler:
         blocks over the pool (blocks are resident bytes; the gap to
         live tokens is the internal fragmentation the allocator's
         :meth:`~repro.serve.paging.PagedKVAllocator.stats` reports).
+        Prefix caching adds the cached-but-unreferenced tree blocks —
+        they hold bytes until evicted.
         """
         if self.allocator is not None:
-            return self.allocator.used_fraction
+            frac = getattr(self.allocator, "resident_fraction", None)
+            return self.allocator.used_fraction if frac is None else frac
         live = sum(s.context_tokens for s in self.running)
         return live / max(1, self.budget.max_tokens)
+
+    def prefix_stats(self) -> Optional[PrefixStats]:
+        """Hit/miss/evict counters (``None`` unless prefix caching)."""
+        if not self.prefix_caching:
+            return None
+        return self.allocator.prefix_stats()
 
     @property
     def kv_pressure(self) -> float:
@@ -442,7 +472,10 @@ class ContinuousBatchScheduler:
         required up front — that is the whole point of paging — but the
         check also counts the *outstanding* prefill demand of already
         running sequences, so a burst of admissions cannot promise the
-        same free blocks twice.
+        same free blocks twice.  Under prefix caching, blocks the
+        radix tree already holds for the candidate's prompt are not
+        demanded (a feasibility ``peek``; the blocks are matched and
+        locked only when the candidate is actually admitted).
         """
         alloc = self.allocator
         committed = sum(
@@ -451,20 +484,65 @@ class ContinuousBatchScheduler:
             for s in self.running)
         while (len(self.running) < self.max_seqs
                and (self.preempted or self.waiting)):
+            known = None
             if self.preempted:
-                tokens = self.preempted[0].prefill_target + 1
+                cand = self.preempted[0]
+                req = cand.request
+                target = cand.prefill_target
+                if self.prefix_caching:
+                    known = self._known_ids(req, cand.restart_tokens)
             else:
-                tokens = self.waiting[0].prompt_tokens + 1
-            need = alloc.blocks_for_tokens(tokens)
+                req = self.waiting[0]
+                target = req.prompt_tokens
+                if self.prefix_caching:
+                    known = self._known_ids(req, 0)
+            cached_blocks = 0
+            if known is not None:
+                cached_blocks = alloc.peek(known) // alloc.block_tokens
+            need = max(0, alloc.blocks_for_tokens(target + 1)
+                       - cached_blocks)
             watermark = self._watermark_blocks if self.running else 0
             if committed + need + watermark > alloc.free_blocks:
                 break
             if self.preempted:
-                self.running.append(self.preempted.popleft())
+                seq = self.preempted.popleft()
             else:
-                req = self.waiting.popleft()
-                self.running.append(self._new_sequence(req, now_s))
+                seq = self._new_sequence(self.waiting.popleft(), now_s)
+            if known is not None:
+                cached = alloc.match_and_lock(req.req_id, known)
+                seq.prefilled = cached
+                seq.cached_tokens = cached
+            self.running.append(seq)
             committed += need
+
+    @staticmethod
+    def _known_ids(request: Request, generated: int):
+        """Token ids resident after (re-)prefilling ``request`` with
+        ``generated`` recompute tokens — ``None`` when the request
+        carries no ids (prefix caching is then a per-request no-op)."""
+        if request.prompt_ids is None:
+            return None
+        ids = request.prompt_ids
+        if generated > 0 and request.output_ids is not None:
+            ids = ids + request.output_ids[:generated]
+        return ids
+
+    def _resident_ids(self, seq: SequenceState):
+        """Ids of the tokens currently in ``seq``'s KV cache (prompt
+        first), for committing full blocks into the prefix tree."""
+        ids = self._known_ids(seq.request, seq.generated)
+        if ids is None:
+            return None
+        return ids[:seq.context_tokens]
+
+    def _release_blocks(self, seq: SequenceState) -> None:
+        """Free ``seq``'s blocks — committing them to the prefix tree
+        first when prefix caching is on and the ids are known."""
+        if self.prefix_caching:
+            self.allocator.release(seq.request.req_id,
+                                   token_ids=self._resident_ids(seq))
+        else:
+            self.allocator.release(seq.request.req_id)
 
     def _new_sequence(self, request: Request,
                       now_s: float) -> SequenceState:
@@ -477,8 +555,13 @@ class ContinuousBatchScheduler:
     def _preempt(self, victim: SequenceState,
                  evicted_ids: set) -> None:
         """Evict ``victim`` by recompute: free its blocks, queue it for
-        re-admission with its generated tokens folded into prefill."""
-        self.allocator.release(victim.request.req_id)
+        re-admission with its generated tokens folded into prefill.
+
+        Under prefix caching the victim's full blocks are committed to
+        the tree rather than freed — if they survive until re-admission
+        the recompute is (mostly) a cache hit.
+        """
+        self._release_blocks(victim)
         self.running.remove(victim)
         evicted_ids.add(id(victim))
         victim.prefilled = 0
@@ -633,7 +716,7 @@ class ContinuousBatchScheduler:
                 seq.finished_s = now_s
                 self.running.remove(seq)
                 if self.allocator is not None:
-                    self.allocator.release(seq.request.req_id)
+                    self._release_blocks(seq)
                 else:
                     self.reserved_tokens -= seq.reserved_tokens
                 finished.append(seq)

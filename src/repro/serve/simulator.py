@@ -54,6 +54,9 @@ class RequestRecord:
     prompt_tokens: int
     output_tokens: int
     queued_s: float
+    #: Prompt tokens served from the prefix cache at the last
+    #: admission (0 without prefix caching).
+    cached_tokens: int = 0
 
     @property
     def ttft_s(self) -> float:
@@ -94,6 +97,19 @@ class ServingReport:
     peak_kv_occupancy: float = 0.0
     #: Recompute preemptions fired (paged admission only).
     n_preempted: int = 0
+    #: Whether the scheduler shared KV blocks across common prefixes.
+    prefix_caching: bool = False
+    #: Fraction of admissions that matched at least one cached block.
+    prefix_hit_rate: float = 0.0
+    #: Fraction of looked-up prompt tokens served from the cache.
+    cached_token_fraction: float = 0.0
+    #: Cached blocks reclaimed by LRU eviction over the run.
+    n_evicted_blocks: int = 0
+    #: Copy-on-write block copies: the prompt's next block was cached
+    #: but had to be recomputed privately because the prompt ends
+    #: inside it (e.g. a fully cached prompt recomputing its last
+    #: block for logits).
+    n_cow_copies: int = 0
 
     # -- throughput ----------------------------------------------------
     @property
@@ -148,6 +164,11 @@ class ServingReport:
             f"({self.admission}), "
             f"occupancy {self.peak_kv_occupancy:.0%}",
         ]
+        if self.prefix_caching:
+            lines.append(
+                f"  prefix     : {self.prefix_hit_rate:.0%} admissions "
+                f"hit, {self.cached_token_fraction:.0%} of prompt tokens "
+                f"cached, {self.n_evicted_blocks} blocks evicted")
         if self.n_preempted:
             lines.append(f"  preempted  : {self.n_preempted} recompute "
                          "preemptions")
@@ -235,10 +256,13 @@ class ServingSimulator:
                 prompt_tokens=s.request.prompt_tokens,
                 output_tokens=s.request.output_tokens,
                 queued_s=s.admitted_s - s.request.arrival_s,
+                cached_tokens=s.cached_tokens,
             )
             for s in finished
         ]
         records.sort(key=lambda r: r.req_id)
+        prefix = (sched.prefix_stats()
+                  if getattr(sched, "prefix_caching", False) else None)
         return ServingReport(
             name=self.name,
             records=records,
@@ -250,4 +274,10 @@ class ServingSimulator:
             admission=getattr(sched, "admission", "reserve"),
             peak_kv_occupancy=getattr(sched, "peak_kv_occupancy", 0.0),
             n_preempted=getattr(sched, "n_preemptions", 0),
+            prefix_caching=prefix is not None,
+            prefix_hit_rate=prefix.hit_rate if prefix else 0.0,
+            cached_token_fraction=(prefix.cached_token_fraction
+                                   if prefix else 0.0),
+            n_evicted_blocks=prefix.n_evicted_blocks if prefix else 0,
+            n_cow_copies=prefix.n_cow_copies if prefix else 0,
         )

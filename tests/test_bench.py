@@ -167,6 +167,28 @@ class TestServingBench:
         with pytest.raises(ValueError):
             make_trace("weibull", 8.0, 40, 256, 64)
 
+    def test_make_trace_session_kinds_carry_ids(self):
+        from repro.bench.serving import make_trace
+        shared = make_trace("shared_prefix", 8.0, 12, 64, 16, seed=1)
+        assert len(shared) == 12
+        root = shared[0].prompt_ids[:128]  # system = 2 * prompt_mean
+        assert all(r.prompt_ids[:128] == root for r in shared)
+        chat = make_trace("chat", 8.0, 12, 64, 16, seed=1)
+        assert len(chat) == 12  # 3 sessions x 4 turns
+        assert {r.turn for r in chat} == {0, 1, 2, 3}
+        assert all(r.prompt_ids is not None and r.output_ids is not None
+                   for r in chat)
+        # Counts not divisible by the turn count are hit exactly, and
+        # trimming keeps every session's kept turns a prefix.
+        chat10 = make_trace("chat", 8.0, 10, 64, 16, seed=1)
+        assert len(chat10) == 10
+        assert [r.req_id for r in chat10] == list(range(10))
+        by_session = {}
+        for r in chat10:
+            by_session.setdefault(r.session_id, []).append(r.turn)
+        assert all(sorted(turns) == list(range(len(turns)))
+                   for turns in by_session.values())
+
     def test_cli_runs_a_small_comparison(self, capsys):
         from repro.bench.serving import main
         rc = main(["--modes", "fp16", "--requests", "6", "--rate", "8",
@@ -181,6 +203,29 @@ class TestServingBench:
         from repro.bench.serving import main
         with pytest.raises(SystemExit):
             main(["--modes", "int3"])
+
+    def test_cli_prefix_comparison(self, capsys):
+        from repro.bench.serving import main
+        rc = main(["--modes", "kv-cq-4", "--requests", "8", "--rate", "8",
+                   "--kv-gb", "1", "--prompt-mean", "48",
+                   "--output-mean", "8", "--trace-kind", "chat",
+                   "--prefix-caching"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Prefix caching" in out
+        assert "hit_rate" in out
+
+    def test_cli_prefix_caching_defaults_to_chat_trace(self, capsys):
+        """--prefix-caching without --trace-kind must not silently run
+        an id-less poisson trace (where nothing can ever hit)."""
+        from repro.bench.serving import main
+        rc = main(["--modes", "kv-cq-4", "--requests", "8", "--rate", "8",
+                   "--kv-gb", "1", "--prompt-mean", "48",
+                   "--output-mean", "8", "--prefix-caching"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace: chat" in out
+        assert "serves 0% of prompt tokens" not in out
 
 
 class TestClusterBench:
@@ -231,3 +276,64 @@ class TestClusterBench:
         speedups = result.column("speedup_vs_tp1")
         assert speedups[0] == pytest.approx(1.0)
         assert speedups[-1] > speedups[0]
+
+    def test_routing_comparison_structure(self):
+        """Tiny-shape routing table: prefix-affinity must report the
+        highest cached-token fraction on a sessionized trace."""
+        from repro.bench.cluster import routing_comparison
+        from repro.core.engine import ComputeEngine
+        from repro.llm.config import tiny_llama
+        reports = {}
+        result = routing_comparison(
+            mode="fp16", n_replicas=2,
+            policies=("round-robin", "prefix-affinity"),
+            spec=RTX4090.with_dram(2.0), config=tiny_llama(),
+            rate_rps=8.0, n_requests=8, prompt_mean=32, output_mean=8,
+            engine=ComputeEngine(RTX4090.with_dram(2.0)), reports=reports)
+        assert result.column("policy") == ["round-robin",
+                                           "prefix-affinity"]
+        assert set(reports) == {"round-robin", "prefix-affinity"}
+        cached = dict(zip(result.column("policy"),
+                          result.column("cached_frac")))
+        assert cached["prefix-affinity"] >= cached["round-robin"]
+
+    def test_cluster_cli_runs_routing(self, capsys):
+        from repro.bench.cluster import main
+        rc = main(["--experiment", "routing", "--modes", "kv-cq-4",
+                   "--trace", "chat", "--rate", "8", "--requests", "8",
+                   "--prompt-mean", "48", "--output-mean", "8",
+                   "--replicas", "2",
+                   "--policy", "round-robin", "prefix-affinity"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Routing x prefix caching" in out
+        assert "prefix-affinity" in out
+
+    def test_cluster_cli_rejects_unknown_policy(self):
+        from repro.bench.cluster import main
+        with pytest.raises(SystemExit):
+            main(["--experiment", "routing", "--policy", "random"])
+
+    def test_cluster_cli_routing_defaults_to_chat_trace(self, capsys):
+        """--experiment routing without --trace must default to an
+        id-carrying trace, not poisson's all-zero hit table."""
+        from repro.bench.cluster import main
+        rc = main(["--experiment", "routing", "--modes", "kv-cq-4",
+                   "--rate", "8", "--requests", "8",
+                   "--prompt-mean", "48", "--output-mean", "8",
+                   "--replicas", "2",
+                   "--policy", "round-robin", "prefix-affinity"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "caches 0% of prompt tokens" not in out
+
+    def test_cluster_cli_prefix_caching_forces_paged(self, capsys):
+        """--prefix-caching under the sizing experiment must imply
+        paged admission instead of crashing on the reserve default."""
+        from repro.bench.cluster import main
+        rc = main(["--experiment", "sizing", "--modes", "kv-cq-4",
+                   "--rate", "8", "--requests", "8",
+                   "--prompt-mean", "48", "--output-mean", "8",
+                   "--max-replicas", "2", "--prefix-caching"])
+        assert rc == 0
+        assert "Fleet sizing" in capsys.readouterr().out

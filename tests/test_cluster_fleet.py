@@ -10,12 +10,13 @@ import pytest
 from repro.cluster.fleet import (
     SLO,
     FleetSimulator,
+    PrefixAffinityPolicy,
     Replica,
     RouterPolicy,
     make_policy,
     size_fleet,
 )
-from repro.serve.requests import Request
+from repro.serve.requests import LengthSampler, Request, multi_turn_chat_trace
 from repro.serve.scheduler import ContinuousBatchScheduler, KVBudget
 
 
@@ -48,6 +49,19 @@ def _paged_replicas(n, max_tokens=300, step_us=1000.0, token_budget=512,
             KVBudget(capacity_bytes=float(max_tokens), bytes_per_token=1.0),
             token_budget=token_budget, max_seqs=max_seqs,
             admission="paged", block_tokens=block_tokens), cost)
+        for i in range(n)
+    ]
+
+
+def _prefix_replicas(n, max_tokens=6000, step_us=1000.0, token_budget=512,
+                     max_seqs=16, block_tokens=16):
+    cost = ConstantCostModel(step_us)
+    return [
+        Replica(i, ContinuousBatchScheduler(
+            KVBudget(capacity_bytes=float(max_tokens), bytes_per_token=1.0),
+            token_budget=token_budget, max_seqs=max_seqs,
+            admission="paged", block_tokens=block_tokens,
+            prefix_caching=True), cost)
         for i in range(n)
     ]
 
@@ -283,6 +297,21 @@ class TestPagedFleet:
         report = FleetSimulator(reps, policy="jsq", name="unit").run(trace)
         assert report.n_rejected == 1 and report.n_requests == 0
 
+    def test_prefix_metrics_aggregate_across_replicas(self):
+        """FleetReport sums the per-replica prefix counters."""
+        reps = _prefix_replicas(2)
+        trace = multi_turn_chat_trace(
+            4, 3, rate_rps=50.0, think_s=0.02, system_tokens=32,
+            user=LengthSampler(mean=16), output=LengthSampler(mean=8),
+            seed=0)
+        report = FleetSimulator(reps, policy="prefix-affinity",
+                                name="unit").run(trace)
+        assert report.prefix_caching
+        assert report.prefix_lookups == 12
+        assert 0.0 < report.prefix_hit_rate <= 1.0
+        assert 0.0 < report.cached_token_fraction < 1.0
+        assert "prefix" in report.summary()
+
     def test_queue_depth_counts_preempted_sequences(self):
         """Preempted sequences carry re-prefill work, so jsq must see
         them as queued load."""
@@ -299,3 +328,77 @@ class TestPagedFleet:
         assert rep.queue_depth == (len(s.waiting) + len(s.preempted)
                                    + len(s.running))
         assert len(s.preempted) >= 1
+
+
+class TestPrefixAffinity:
+    def _chat_trace(self, seed=3):
+        # Per-session system prompts (shared_system=False): hitting a
+        # session's blocks requires landing on the replica that served
+        # its earlier turns, which is exactly what affinity preserves.
+        return multi_turn_chat_trace(
+            12, 4, rate_rps=6.0, think_s=0.5, system_tokens=64,
+            user=LengthSampler(mean=32), output=LengthSampler(mean=24),
+            shared_system=False, seed=seed)
+
+    def test_sessions_stick_to_one_replica(self):
+        trace = self._chat_trace()
+        report = FleetSimulator(_prefix_replicas(3),
+                                policy="prefix-affinity",
+                                name="unit").run(trace)
+        by_session = {}
+        for req in trace:
+            by_session.setdefault(req.session_id, set()).add(
+                report.assignments[req.req_id])
+        assert all(len(replicas) == 1 for replicas in by_session.values())
+
+    def test_affinity_beats_round_robin_on_hit_rate(self):
+        """The acceptance claim: consistent-hashing sessions to
+        replicas keeps their trees hot, so the fleet-wide prefix hit
+        rate beats round-robin's on a sessionized trace."""
+        trace = self._chat_trace()
+        reports = {
+            policy: FleetSimulator(_prefix_replicas(3), policy=policy,
+                                   name=policy).run(trace)
+            for policy in ("round-robin", "prefix-affinity")
+        }
+        for rep in reports.values():
+            assert rep.n_requests == len(trace) and rep.n_rejected == 0
+        assert (reports["prefix-affinity"].prefix_hit_rate
+                > reports["round-robin"].prefix_hit_rate)
+        assert (reports["prefix-affinity"].cached_token_fraction
+                > reports["round-robin"].cached_token_fraction)
+
+    def test_consistent_hash_is_deterministic_and_spreads(self):
+        policy = PrefixAffinityPolicy()
+        reps = _prefix_replicas(4)
+        cands = list(range(4))
+
+        def req(session):
+            return Request(req_id=session, arrival_s=0.0, prompt_tokens=8,
+                           output_tokens=4, session_id=session)
+
+        chosen = {s: policy.choose(req(s), reps, cands) for s in range(64)}
+        again = {s: policy.choose(req(s), reps, cands) for s in range(64)}
+        assert chosen == again                      # sticky
+        assert len(set(chosen.values())) == 4      # uses the whole fleet
+
+    def test_infeasible_replicas_are_skipped(self):
+        policy = PrefixAffinityPolicy()
+        reps = _prefix_replicas(3)
+        req = Request(req_id=0, arrival_s=0.0, prompt_tokens=8,
+                      output_tokens=4, session_id=7)
+        full = policy.choose(req, reps, [0, 1, 2])
+        without = [i for i in (0, 1, 2) if i != full]
+        assert policy.choose(req, reps, without) in without
+
+    def test_sessionless_requests_fall_back_to_req_id(self):
+        policy = PrefixAffinityPolicy()
+        reps = _prefix_replicas(4)
+        req = Request(req_id=11, arrival_s=0.0, prompt_tokens=8,
+                      output_tokens=4)
+        assert (policy.choose(req, reps, list(range(4)))
+                == policy.choose(req, reps, list(range(4))))
+
+    def test_vnodes_validation(self):
+        with pytest.raises(ValueError):
+            PrefixAffinityPolicy(vnodes=0)

@@ -8,6 +8,7 @@ scheduler's ``ServingReport``, verified against a verbatim copy of the
 legacy implementation on the PR-1 seed scenario.
 """
 
+import random
 from collections import deque
 
 import pytest
@@ -308,6 +309,89 @@ class TestPagedScheduling:
         with pytest.raises(ValueError):
             ContinuousBatchScheduler(budget, admission="paged",
                                      watermark_frac=1.0)
+
+
+# ----------------------------------------------------------------------
+# Invariant fuzzing: randomized ensure/release/preempt interleavings
+# ----------------------------------------------------------------------
+class TestAllocatorFuzz:
+    """Hypothesis-style randomized interleavings (seeded ``random``):
+    whatever order ``ensure``/``release``/preemption happen in, the
+    pool conserves blocks and never leaks an owner entry."""
+
+    def _check(self, alloc, live_owners):
+        assert alloc.used_blocks + alloc.free_blocks == alloc.total_blocks
+        assert alloc.used_blocks == sum(alloc.holds(o) for o in live_owners)
+        assert set(alloc._held) <= live_owners
+        assert set(alloc._used_tokens) <= live_owners
+        for owner in live_owners:
+            assert alloc.holds(owner) >= 0
+
+    def test_ensure_release_interleavings_conserve_blocks(self):
+        rng = random.Random(0xC0FFEE)
+        for trial in range(25):
+            total = rng.randint(4, 64)
+            bt = rng.choice([1, 2, 4, 8, 16])
+            alloc = PagedKVAllocator(total_blocks=total, block_tokens=bt)
+            tokens = {}
+            for _ in range(200):
+                op = rng.random()
+                if op < 0.55 or not tokens:
+                    owner = rng.randint(0, 7)
+                    want = tokens.get(owner, 0) + rng.randint(1, 3 * bt)
+                    before = (alloc.holds(owner), alloc.free_blocks)
+                    if alloc.ensure(owner, want):
+                        tokens[owner] = max(tokens.get(owner, 0), want)
+                    else:
+                        # A failed ensure must change nothing.
+                        assert (alloc.holds(owner),
+                                alloc.free_blocks) == before
+                else:
+                    owner = rng.choice(sorted(tokens))
+                    freed = alloc.release(owner)
+                    assert freed == -(-tokens.pop(owner) // bt)
+                self._check(alloc, set(tokens))
+            for owner in sorted(tokens):
+                alloc.release(owner)
+            assert alloc.used_blocks == 0
+            assert alloc.free_blocks == alloc.total_blocks
+            assert not alloc._held and not alloc._used_tokens
+
+    def test_scheduler_lifecycle_fuzz_with_preemptions(self):
+        """Random traces through the paged scheduler — including forced
+        out-of-band preemptions — conserve blocks at every iteration
+        and drain to an empty pool."""
+        rng = random.Random(1234)
+        for trial in range(10):
+            bt = rng.choice([4, 8, 16])
+            sched = _paged(max_tokens=rng.randint(10, 30) * bt,
+                           token_budget=rng.randint(16, 128),
+                           max_seqs=rng.randint(2, 8), block_tokens=bt)
+            alloc = sched.allocator
+            n_reqs = rng.randint(4, 12)
+            cap = alloc.total_blocks * bt
+            for i in range(n_reqs):
+                prompt = rng.randint(1, max(1, cap // 2 - 2))
+                output = rng.randint(1, max(1, cap - prompt - bt))
+                if sched.fits(_req(i, prompt=prompt, output=output)):
+                    sched.submit(_req(i, prompt=prompt, output=output))
+            it = 0
+            while sched.has_work:
+                plan = sched.schedule(float(it))
+                assert not plan.empty
+                sched.complete(plan, float(it))
+                if sched.running and rng.random() < 0.15:
+                    sched._preempt(rng.choice(sched.running), set())
+                assert (alloc.used_blocks + alloc.free_blocks
+                        == alloc.total_blocks)
+                assert alloc.used_blocks == sum(
+                    alloc.holds(s.request.req_id) for s in sched.running)
+                for seq in sched.preempted:
+                    assert alloc.holds(seq.request.req_id) == 0
+                it += 1
+                assert it < 5000, "fuzz trace failed to drain"
+            assert alloc.used_blocks == 0
+            assert not alloc._held and not alloc._used_tokens
 
 
 # ----------------------------------------------------------------------

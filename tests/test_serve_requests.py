@@ -7,8 +7,10 @@ from repro.serve.requests import (
     LengthSampler,
     Request,
     bursty_trace,
+    multi_turn_chat_trace,
     poisson_trace,
     replayed_trace,
+    shared_prefix_trace,
     trace_stats,
 )
 
@@ -146,3 +148,105 @@ class TestReplayedTrace:
             replayed_trace([], [], [])
         with pytest.raises(ValueError):
             replayed_trace([0.0], [8], [4], time_scale=0.0)
+
+
+class TestRequestIds:
+    def test_id_length_validation(self):
+        with pytest.raises(ValueError):
+            Request(0, 0.0, prompt_tokens=4, output_tokens=1,
+                    prompt_ids=(1, 2, 3))
+        with pytest.raises(ValueError):
+            Request(0, 0.0, prompt_tokens=1, output_tokens=4,
+                    output_ids=(1, 2))
+        with pytest.raises(ValueError):
+            Request(0, 0.0, prompt_tokens=1, output_tokens=1, turn=-1)
+
+    def test_classic_traces_carry_no_ids(self):
+        for r in poisson_trace(4.0, 8, seed=0):
+            assert r.prompt_ids is None and r.output_ids is None
+            assert r.session_id is None and r.turn == 0
+
+
+class TestSharedPrefixTrace:
+    def test_all_requests_share_the_system_prompt(self):
+        trace = shared_prefix_trace(8.0, 16, system_tokens=64, seed=0)
+        system = trace[0].prompt_ids[:64]
+        for r in trace:
+            assert r.prompt_ids[:64] == system
+            assert len(r.prompt_ids) == r.prompt_tokens
+            assert len(r.output_ids) == r.output_tokens
+        # User suffixes are unique per request.
+        suffixes = {r.prompt_ids[64:] for r in trace}
+        assert len(suffixes) == 16
+
+    def test_deterministic_and_sorted(self):
+        a = shared_prefix_trace(8.0, 12, seed=7)
+        b = shared_prefix_trace(8.0, 12, seed=7)
+        assert a == b
+        arrivals = [r.arrival_s for r in a]
+        assert arrivals == sorted(arrivals)
+        assert [r.req_id for r in a] == list(range(12))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shared_prefix_trace(0.0, 4)
+        with pytest.raises(ValueError):
+            shared_prefix_trace(1.0, 0)
+        with pytest.raises(ValueError):
+            shared_prefix_trace(1.0, 4, system_tokens=0)
+        with pytest.raises(ValueError):
+            shared_prefix_trace(1.0, 4, vocab=1)
+
+
+class TestMultiTurnChatTrace:
+    def test_turn_k_prompt_extends_the_full_history(self):
+        trace = multi_turn_chat_trace(3, 4, rate_rps=2.0, think_s=1.0,
+                                      system_tokens=32, seed=0)
+        assert len(trace) == 12
+        by_session = {}
+        for r in sorted(trace, key=lambda r: r.turn):
+            by_session.setdefault(r.session_id, []).append(r)
+        for turns in by_session.values():
+            assert [r.turn for r in turns] == [0, 1, 2, 3]
+            for prev, cur in zip(turns, turns[1:]):
+                history = prev.prompt_ids + prev.output_ids
+                assert cur.prompt_ids[:len(history)] == history
+                assert len(cur.prompt_ids) > len(history)
+
+    def test_shared_vs_private_system_prompts(self):
+        shared = multi_turn_chat_trace(3, 2, system_tokens=16, seed=1)
+        roots = {r.prompt_ids[:16] for r in shared if r.turn == 0}
+        assert len(roots) == 1
+        private = multi_turn_chat_trace(3, 2, system_tokens=16,
+                                        shared_system=False, seed=1)
+        roots = {r.prompt_ids[:16] for r in private if r.turn == 0}
+        assert len(roots) == 3
+
+    def test_turns_arrive_in_order_within_a_session(self):
+        trace = multi_turn_chat_trace(4, 3, rate_rps=4.0, think_s=0.5,
+                                      seed=2)
+        by_session = {}
+        for r in trace:
+            by_session.setdefault(r.session_id, []).append(r)
+        for turns in by_session.values():
+            ordered = sorted(turns, key=lambda r: r.turn)
+            arrivals = [r.arrival_s for r in ordered]
+            assert arrivals == sorted(arrivals)
+
+    def test_req_ids_are_arrival_ranks(self):
+        trace = multi_turn_chat_trace(4, 3, rate_rps=4.0, seed=3)
+        assert [r.req_id for r in trace] == list(range(12))
+        arrivals = [r.arrival_s for r in trace]
+        assert arrivals == sorted(arrivals)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multi_turn_chat_trace(0, 2)
+        with pytest.raises(ValueError):
+            multi_turn_chat_trace(1, 0)
+        with pytest.raises(ValueError):
+            multi_turn_chat_trace(1, 1, rate_rps=0.0)
+        with pytest.raises(ValueError):
+            multi_turn_chat_trace(1, 1, think_s=0.0)
+        with pytest.raises(ValueError):
+            multi_turn_chat_trace(1, 1, system_tokens=0)
