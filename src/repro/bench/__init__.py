@@ -8,7 +8,13 @@
 - :mod:`repro.bench.e2e` — the end-to-end latency ledger (Fig. 17);
 - :mod:`repro.bench.serving` — the continuous-batching serving
   experiment (FP16 vs VQ KV caches at equal HBM) over
-  :mod:`repro.serve`.
+  :mod:`repro.serve`;
+- :mod:`repro.bench.cluster` — fleet sizing, routing and TP scaling
+  over :mod:`repro.cluster`;
+- :mod:`repro.bench.orchestrator` — declarative sweep grids over the
+  serving/fleet experiments, parallel trial execution, the persisted
+  ``BENCH_<pr>.json`` perf trajectory and its markdown regression
+  report.
 
 See ``docs/architecture.md`` for how the harness layers on the stack
 and ``README.md`` for the benchmark-to-figure mapping.

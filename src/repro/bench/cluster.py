@@ -317,8 +317,19 @@ def routing_comparison(
     return result
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point: ``python -m repro.bench.cluster``."""
+def run(argv: Optional[Sequence[str]] = None,
+        reports: Optional[dict] = None) -> ExperimentResult:
+    """Run the CLI experiment and return the structured result.
+
+    Same argument surface as the ``python -m repro.bench.cluster``
+    command line, but the caller gets the
+    :class:`~repro.bench.harness.ExperimentResult` back (and, with a
+    dict as ``reports``, the per-run
+    :class:`~repro.cluster.fleet.FleetReport` values — ``(size,
+    report)`` tuples for sizing) instead of scraping stdout.  The
+    orchestrator and tests consume this; :func:`main` is the printing
+    wrapper around it.
+    """
     import argparse
 
     from repro.gpu.spec import get_spec
@@ -393,7 +404,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     spec = get_spec(args.gpu)
     config = llama_7b()
     engine = ComputeEngine(spec)
-    reports: dict = {}
+    reports = reports if reports is not None else {}
     if args.experiment == "tp":
         table = tp_scaling(spec=spec, config=config, mode=args.modes[0],
                            degrees=tuple(args.tp), engine=engine)
@@ -425,6 +436,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(rep.summary())
         print()
     print(table)
+    return table
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: ``python -m repro.bench.cluster``."""
+    run(argv)
     return 0
 
 

@@ -370,8 +370,18 @@ def prefix_comparison(
     return result
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point: ``python -m repro.bench.serving``."""
+def run(argv: Optional[Sequence[str]] = None,
+        reports: Optional[dict] = None) -> ExperimentResult:
+    """Run the CLI experiment and return the structured result.
+
+    Same argument surface as the ``python -m repro.bench.serving``
+    command line, but the caller gets the
+    :class:`~repro.bench.harness.ExperimentResult` back (and, with a
+    dict as ``reports``, the per-run
+    :class:`~repro.serve.simulator.ServingReport` objects) instead of
+    having to scrape stdout.  The orchestrator and tests consume this;
+    :func:`main` is the printing wrapper around it.
+    """
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.serving",
         description="Continuous-batching serving comparison: FP16 vs "
@@ -443,7 +453,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"{stats['offered_rps']:.1f} req/s offered, "
           f"mean prompt {stats['mean_prompt_tokens']:.0f} / "
           f"output {stats['mean_output_tokens']:.0f} tokens")
-    reports: dict = {}
+    reports = reports if reports is not None else {}
     if args.prefix_caching:
         table = prefix_comparison(spec=spec, config=config, engine=engine,
                                   modes=args.modes, trace_kind=trace_kind,
@@ -465,6 +475,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(rep.summary())
         print()
     print(table)
+    return table
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: ``python -m repro.bench.serving``."""
+    run(argv)
     return 0
 
 

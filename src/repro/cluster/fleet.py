@@ -373,6 +373,38 @@ class FleetReport:
             return False
         return True
 
+    def metrics(self, slo: Optional[SLO] = None) -> dict:
+        """Flat JSON-safe metric dict (plain ``int``/``float`` values).
+
+        The fleet analogue of
+        :meth:`repro.serve.simulator.ServingReport.metrics`, with the
+        same key names for shared concepts so the orchestrator's
+        trajectory deltas compare uniformly.  Passing an :class:`SLO`
+        adds the SLO-conditioned metrics (``goodput_rps``,
+        ``slo_attainment``).
+        """
+        out = {
+            "n_replicas": self.n_replicas,
+            "n_requests": self.n_requests,
+            "n_rejected": self.n_rejected,
+            "makespan_s": self.makespan_s,
+            "throughput_rps": self.throughput_rps,
+            "output_tokens_per_s": self.output_tokens_per_s,
+            "ttft_p50_ms": self.ttft_s(50) * 1e3,
+            "ttft_p95_ms": self.ttft_s(95) * 1e3,
+            "tpot_p50_ms": self.tpot_s(50) * 1e3,
+            "latency_p50_s": self.latency_s(50),
+            "latency_p99_s": self.latency_s(99),
+            "n_preempted": self.n_preempted,
+            "prefix_hit_rate": self.prefix_hit_rate,
+            "cached_token_fraction": self.cached_token_fraction,
+            "n_evicted_blocks": self.n_evicted_blocks,
+        }
+        if slo is not None:
+            out["goodput_rps"] = self.goodput_rps(slo)
+            out["slo_attainment"] = self.slo_attainment(slo)
+        return out
+
     def summary(self) -> str:
         """Multi-line human-readable summary."""
         lines = [

@@ -146,6 +146,40 @@ class ServingReport:
             return 0.0
         return percentile([r.latency_s for r in self.records], q)
 
+    def metrics(self) -> dict:
+        """Flat JSON-safe metric dict (plain ``int``/``float`` values).
+
+        This is the structured form the experiment orchestrator
+        persists to the ``BENCH_<pr>.json`` perf trajectory; keys are
+        shared with :meth:`repro.cluster.fleet.FleetReport.metrics`
+        where the concepts coincide, so trajectory deltas can compare
+        serving and fleet trials uniformly.  Derived quantities are
+        stored exactly as computed (no rounding): JSON round-trips
+        Python floats losslessly, which is what lets golden tests pin
+        persisted metrics bit-identical.
+        """
+        return {
+            "n_requests": self.n_requests,
+            "n_rejected": self.n_rejected,
+            "makespan_s": self.makespan_s,
+            "n_iterations": self.n_iterations,
+            "throughput_rps": self.throughput_rps,
+            "output_tokens_per_s": self.output_tokens_per_s,
+            "ttft_p50_ms": self.ttft_s(50) * 1e3,
+            "ttft_p95_ms": self.ttft_s(95) * 1e3,
+            "tpot_p50_ms": self.tpot_s(50) * 1e3,
+            "latency_p50_s": self.latency_s(50),
+            "latency_p99_s": self.latency_s(99),
+            "peak_seqs": self.peak_seqs,
+            "peak_kv_utilization": self.peak_kv_utilization,
+            "peak_kv_occupancy": self.peak_kv_occupancy,
+            "n_preempted": self.n_preempted,
+            "prefix_hit_rate": self.prefix_hit_rate,
+            "cached_token_fraction": self.cached_token_fraction,
+            "n_evicted_blocks": self.n_evicted_blocks,
+            "n_cow_copies": self.n_cow_copies,
+        }
+
     def summary(self) -> str:
         """Multi-line human-readable summary."""
         lines = [

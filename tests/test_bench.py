@@ -337,3 +337,77 @@ class TestClusterBench:
                    "--max-replicas", "2", "--prefix-caching"])
         assert rc == 0
         assert "Fleet sizing" in capsys.readouterr().out
+
+
+class TestStructuredResults:
+    """The CLI experiment paths return structured results (prints
+    preserved), so the orchestrator and tests never scrape stdout."""
+
+    SERVING_ARGS = ["--modes", "fp16", "--requests", "6", "--rate", "8",
+                    "--kv-gb", "2", "--prompt-mean", "64",
+                    "--output-mean", "16"]
+
+    def test_serving_run_returns_experiment_result(self, capsys):
+        from repro.bench.harness import ExperimentResult
+        from repro.bench.serving import run
+
+        reports = {}
+        table = run(self.SERVING_ARGS, reports=reports)
+        assert isinstance(table, ExperimentResult)
+        assert table.column("mode") == ["fp16"]
+        assert set(reports) == {"fp16"}
+        # The printed table is the same structured result, rendered.
+        assert table.render() in capsys.readouterr().out
+        assert reports["fp16"].throughput_rps \
+            == table.column("req/s")[0]
+
+    def test_serving_main_still_prints_and_returns_zero(self, capsys):
+        from repro.bench.serving import main
+
+        assert main(self.SERVING_ARGS) == 0
+        assert "fp16" in capsys.readouterr().out
+
+    def test_cluster_run_returns_experiment_result(self, capsys):
+        from repro.bench.cluster import run
+        from repro.bench.harness import ExperimentResult
+        from repro.cluster.fleet import FleetReport
+
+        reports = {}
+        table = run(["--experiment", "routing", "--modes", "fp16",
+                     "--trace", "chat", "--rate", "8", "--requests", "8",
+                     "--prompt-mean", "48", "--output-mean", "8",
+                     "--replicas", "2", "--policy", "round-robin"],
+                    reports=reports)
+        assert isinstance(table, ExperimentResult)
+        assert set(reports) == {"round-robin"}
+        assert isinstance(reports["round-robin"], FleetReport)
+        assert table.render() in capsys.readouterr().out
+
+    def test_serving_report_metrics_round_trip_json(self):
+        import json
+
+        from repro.bench.serving import simulate_mode
+
+        rep = simulate_mode("fp16", rate_rps=8.0, n_requests=6,
+                            prompt_mean=64, output_mean=16)
+        metrics = rep.metrics()
+        assert metrics["throughput_rps"] == rep.throughput_rps
+        assert metrics["ttft_p50_ms"] == rep.ttft_s(50) * 1e3
+        assert metrics["n_requests"] == rep.n_requests
+        assert json.loads(json.dumps(metrics)) == metrics
+
+    def test_fleet_report_metrics_with_and_without_slo(self):
+        from repro.bench.cluster import make_replicas
+        from repro.bench.serving import make_trace
+        from repro.cluster.fleet import SLO, FleetSimulator
+
+        trace = make_trace("poisson", 8.0, 8, 64, 16, seed=0)
+        rep = FleetSimulator(make_replicas(2, "fp16"),
+                             policy="jsq").run(trace)
+        metrics = rep.metrics()
+        assert metrics["n_replicas"] == 2
+        assert "goodput_rps" not in metrics
+        slo = SLO(ttft_s=2.0)
+        with_slo = rep.metrics(slo)
+        assert with_slo["goodput_rps"] == rep.goodput_rps(slo)
+        assert with_slo["slo_attainment"] == rep.slo_attainment(slo)

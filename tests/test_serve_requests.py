@@ -250,3 +250,102 @@ class TestMultiTurnChatTrace:
             multi_turn_chat_trace(1, 1, think_s=0.0)
         with pytest.raises(ValueError):
             multi_turn_chat_trace(1, 1, system_tokens=0)
+
+
+class TestSharedPrefixStatistics:
+    """Distributional checks mirroring the bursty-MMPP tests: the
+    session-aware generators must honor their arrival and length
+    parameters, not just produce well-formed requests."""
+
+    RATE = 8.0
+    N = 3000
+
+    def _trace(self, seed=0, **kwargs):
+        params = dict(system_tokens=64,
+                      prompt=LengthSampler(mean=128, cv=0.5, hi=2048),
+                      output=LengthSampler(mean=96, cv=0.5, hi=2048),
+                      seed=seed)
+        params.update(kwargs)
+        return shared_prefix_trace(self.RATE, self.N, **params)
+
+    def test_interarrivals_are_poisson(self):
+        """Memoryless arrivals: mean gap 1/rate and CV ~= 1 (the MMPP
+        tests assert CV > 1; a plain Poisson process must sit at 1)."""
+        for seed in (0, 1):
+            gaps = np.diff([r.arrival_s for r in self._trace(seed=seed)])
+            assert gaps.mean() == pytest.approx(1 / self.RATE, rel=0.1)
+            assert gaps.std() / gaps.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_suffix_lengths_match_sampler(self):
+        """User-suffix lengths (prompt minus the fixed system prompt)
+        follow the prompt sampler's lognormal: mean and the heavy
+        right tail (lognormal median < mean) must both show."""
+        suffixes = np.array([r.prompt_tokens - 64 for r in self._trace()])
+        assert suffixes.min() >= 1
+        assert suffixes.mean() == pytest.approx(128, rel=0.1)
+        assert np.median(suffixes) < suffixes.mean()
+
+    def test_output_lengths_match_sampler(self):
+        outputs = np.array([r.output_tokens for r in self._trace()])
+        assert outputs.mean() == pytest.approx(96, rel=0.1)
+
+
+class TestMultiTurnChatStatistics:
+    """Inter-arrival and length distributions of the chat generator."""
+
+    RATE = 4.0
+    THINK = 6.0
+    SESSIONS = 800
+    TURNS = 4
+
+    def _trace(self, seed=0):
+        return multi_turn_chat_trace(
+            self.SESSIONS, self.TURNS, rate_rps=self.RATE,
+            think_s=self.THINK, system_tokens=32,
+            user=LengthSampler(mean=64, cv=0.5, hi=1024),
+            output=LengthSampler(mean=96, cv=0.5, hi=1024), seed=seed)
+
+    def _by_session(self, trace):
+        by_session = {}
+        for r in trace:
+            by_session.setdefault(r.session_id, []).append(r)
+        return {s: sorted(t, key=lambda r: r.turn)
+                for s, t in by_session.items()}
+
+    def test_session_opens_are_poisson(self):
+        """Turn-0 arrivals open sessions at ``rate_rps``: mean gap
+        1/rate, CV ~= 1."""
+        opens = sorted(r.arrival_s for r in self._trace() if r.turn == 0)
+        gaps = np.diff(opens)
+        assert gaps.mean() == pytest.approx(1 / self.RATE, rel=0.1)
+        assert gaps.std() / gaps.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_think_times_are_exponential(self):
+        """Within a session, consecutive turns are an exponential
+        think time apart: mean ``think_s``, CV ~= 1."""
+        thinks = []
+        for turns in self._by_session(self._trace()).values():
+            thinks.extend(b.arrival_s - a.arrival_s
+                          for a, b in zip(turns, turns[1:]))
+        thinks = np.array(thinks)
+        assert len(thinks) == self.SESSIONS * (self.TURNS - 1)
+        assert thinks.mean() == pytest.approx(self.THINK, rel=0.1)
+        assert thinks.std() / thinks.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_user_message_lengths_match_sampler(self):
+        """Turn *k*'s prompt extends the history by exactly one user
+        message, whose lengths follow the ``user`` sampler."""
+        messages = []
+        for turns in self._by_session(self._trace()).values():
+            messages.append(turns[0].prompt_tokens - 32)  # minus system
+            for prev, cur in zip(turns, turns[1:]):
+                history = prev.prompt_tokens + prev.output_tokens
+                messages.append(cur.prompt_tokens - history)
+        messages = np.array(messages)
+        assert messages.min() >= 1
+        assert messages.mean() == pytest.approx(64, rel=0.1)
+        assert np.median(messages) < messages.mean()
+
+    def test_output_lengths_match_sampler(self):
+        outputs = np.array([r.output_tokens for r in self._trace()])
+        assert outputs.mean() == pytest.approx(96, rel=0.1)
