@@ -1,4 +1,4 @@
-"""Experiment orchestration: sweep grid -> BENCH_6.json -> report.
+"""Experiment orchestration: sweep grid -> BENCH_<pr>.json -> report.
 
 PRs 1-5 built schedulers, paging, prefix caching and fleet simulation,
 but every benchmark was a one-off CLI run.  This example drives the
@@ -8,11 +8,12 @@ orchestrator end to end and *starts the perf-trajectory convention*:
    paged, paged+prefix) on a sessionized chat trace at a tight 1 GB KV
    budget — in parallel worker processes;
 2. persist every trial (config, metrics, wall time, git SHA) to
-   ``BENCH_6.json`` at the repo root and render the markdown
+   ``BENCH_<pr>.json`` (``BENCH_7.json`` for this PR) at the
+   repo root and render the markdown
    regression report next to it;
 3. re-run one grid cell and assert its metrics are *bit-identical* —
    the determinism the trajectory convention depends on;
-4. if a committed ``BENCH_6.json`` baseline was already present,
+4. if an earlier committed ``BENCH_<n>.json`` baseline exists,
    compare the fresh run against it and **fail on any regression
    beyond tolerance** — this is the CI ``orchestrator-smoke`` gate;
 5. run a 2-replica fleet mini-sweep to show the same orchestrator
@@ -139,7 +140,8 @@ def main() -> int:
                   f"{d.before:.6g} -> {d.after:.6g} ({d.rel_change:+.1%})")
         if regressions:
             print("regression report flagged deltas beyond tolerance; "
-                  "if intentional, regenerate BENCH_6.json in this PR")
+                  "if intentional, regenerate the BENCH_<pr>.json "
+                  "trajectory in this PR")
             return 1
     else:
         print("no baseline yet: this run starts the trajectory")

@@ -47,7 +47,8 @@ from repro.cluster.sharding import TensorParallelPlan
 from repro.core.engine import ComputeEngine
 from repro.gpu.spec import GPUSpec, RTX4090
 from repro.llm.config import LlamaConfig, llama_7b
-from repro.serve.scheduler import ContinuousBatchScheduler, KVBudget
+from repro.serve.api import FleetConfig, SchedulerConfig
+from repro.serve.scheduler import KVBudget
 
 
 def make_sharded_cost_model(
@@ -123,16 +124,12 @@ def make_replicas(
     else:
         plan = TensorParallelPlan(config, tp_degree, link)
         cost = make_sharded_cost_model(engine, config, mode, plan)
-    return [
-        Replica(i, ContinuousBatchScheduler(budget,
-                                            token_budget=token_budget,
-                                            max_seqs=max_seqs,
-                                            admission=admission,
-                                            block_tokens=block_tokens,
-                                            prefix_caching=prefix_caching),
-                cost)
-        for i in range(n)
-    ]
+    sched_config = SchedulerConfig(token_budget=token_budget,
+                                   max_seqs=max_seqs,
+                                   admission=admission,
+                                   block_tokens=block_tokens,
+                                   prefix_caching=prefix_caching)
+    return [Replica(i, sched_config.build(budget), cost) for i in range(n)]
 
 
 def tp_scaling(
@@ -300,8 +297,10 @@ def routing_comparison(
         replicas = make_replicas(n_replicas, mode, spec=spec, config=config,
                                  engine=engine, admission="paged",
                                  prefix_caching=True, **replica_kwargs)
-        rep = FleetSimulator(replicas, policy=policy,
-                             name=f"{mode}/{policy}").run(trace)
+        rep = FleetSimulator(replicas,
+                             config=FleetConfig(
+                                 policy=policy,
+                                 name=f"{mode}/{policy}")).run(trace)
         reports[policy] = rep
         result.add_row(policy, rep.throughput_rps, rep.ttft_s(50) * 1e3,
                        rep.ttft_s(95) * 1e3, rep.prefix_hit_rate,

@@ -18,13 +18,15 @@ which lands them at the paper's ~10% (FP16) / ~20% (4-bit) share.
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
+from repro.bench.harness import ExperimentResult
 from repro.bench.workloads import attention_sample, weight_sample
 from repro.core.engine import ComputeEngine
 from repro.gpu.costmodel import LAUNCH_OVERHEAD_S
-from repro.gpu.spec import GPUSpec
+from repro.gpu.spec import GPUSpec, get_spec
 from repro.kernels.attention import AttentionShape
 from repro.kernels.gemm import GemmShape
 from repro.llm.config import LlamaConfig
@@ -157,3 +159,74 @@ class E2ELedger:
                                             mode)
             for mode in MODES
         }
+
+
+def run(argv: Optional[Sequence[str]] = None,
+        reports: Optional[dict] = None) -> ExperimentResult:
+    """Run the CLI experiment and return the structured result.
+
+    Same call shape as :func:`repro.bench.serving.run` and
+    :func:`repro.bench.cluster.run`: the caller gets the
+    :class:`~repro.bench.harness.ExperimentResult` back (and, with a
+    dict as ``reports``, each mode's per-step
+    :class:`DecodeStepBreakdown`) instead of having to scrape stdout.
+    The orchestrator and tests consume this; :func:`main` is the
+    printing wrapper around it.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.e2e",
+        description="End-to-end decode latency ledger (Fig. 17): FP16 "
+                    "vs qServe vs VQ-LLM serving modes.")
+    parser.add_argument("--gpu", default="rtx4090",
+                        help="GPU preset name (rtx4090, a40, a100)")
+    parser.add_argument("--model", default="7b", choices=["7b", "65b"],
+                        help="Llama model size")
+    parser.add_argument("--modes", nargs="+", default=list(MODES),
+                        choices=list(MODES), metavar="MODE",
+                        help=f"serving modes to compare {MODES}")
+    parser.add_argument("--batch", type=int, default=16,
+                        help="decode batch size")
+    parser.add_argument("--prompt-len", type=int, default=1024,
+                        help="prompt length, tokens")
+    parser.add_argument("--gen-tokens", type=int, default=256,
+                        help="tokens generated per request")
+    args = parser.parse_args(argv)
+
+    from repro.llm.config import llama_7b, llama_65b
+    spec = get_spec(args.gpu)
+    config = llama_7b() if args.model == "7b" else llama_65b()
+    ledger = E2ELedger(spec, config)
+
+    result = ExperimentResult(
+        experiment_id="e2e",
+        title=f"E2E decode latency, Llama-{args.model} on {spec.name} "
+              f"(batch {args.batch}, prompt {args.prompt_len}, "
+              f"+{args.gen_tokens} tokens)",
+        columns=("mode", "step_us", "gemv_us", "attn_us", "elementwise_us",
+                 "generation_ms", "speedup_vs_fp16"),
+    )
+    seq = args.prompt_len + args.gen_tokens // 2
+    base_us = ledger.generation_us(args.batch, args.prompt_len,
+                                   args.gen_tokens, "fp16")
+    for mode in args.modes:
+        step = ledger.decode_step(args.batch, seq, mode)
+        gen_us = ledger.generation_us(args.batch, args.prompt_len,
+                                      args.gen_tokens, mode)
+        result.add_row(mode, step.total_us, step.gemv_us,
+                       step.attention_us, step.elementwise_us,
+                       gen_us / 1e3, base_us / gen_us)
+        if reports is not None:
+            reports[mode] = step
+    result.notes.append("speedups integrate the decode step over the "
+                        "growing KV cache (trapezoidal)")
+    return result
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: ``python -m repro.bench.e2e``."""
+    print(run(argv))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

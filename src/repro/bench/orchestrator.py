@@ -58,9 +58,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 #: cannot know what the fields mean) but accept older ones.
 SCHEMA_VERSION = 1
 
-#: The PR this checkout's trajectory file belongs to: ``BENCH_6.json``
-#: starts the convention, and the next PR compares against it.
-PR_NUMBER = 6
+#: The PR this checkout's trajectory file belongs to: this PR's run
+#: persists ``BENCH_7.json`` and diffs it against ``BENCH_6.json``.
+PR_NUMBER = 7
 
 #: Trial kinds the runner understands.
 TRIAL_KINDS = ("serving", "fleet")
@@ -600,16 +600,22 @@ def bench_path(root, pr: int = PR_NUMBER) -> Path:
     return Path(root) / f"BENCH_{pr}.json"
 
 
-def find_previous(root, pr: int = PR_NUMBER) -> Optional[Path]:
+def find_previous(root, pr: int = PR_NUMBER,
+                  exclude: Optional[Path] = None) -> Optional[Path]:
     """The newest ``BENCH_<n>.json`` under ``root`` with ``n < pr``.
 
     This is what the regression report compares against; ``None`` when
-    this PR starts the trajectory.
+    this PR starts the trajectory.  ``exclude`` skips one path — the
+    trajectory just written, which must never be its own baseline
+    (possible when ``--out`` carries a lower ``BENCH_<n>`` number).
     """
+    skip = Path(exclude).resolve() if exclude is not None else None
     best: Optional[Tuple[int, Path]] = None
     for path in Path(root).glob("BENCH_*.json"):
         stem = path.stem[len("BENCH_"):]
         if not stem.isdigit():
+            continue
+        if skip is not None and path.resolve() == skip:
             continue
         n = int(stem)
         if n < pr and (best is None or n > best[0]):
@@ -797,7 +803,7 @@ def render_report(
 # Presets and CLI
 # ----------------------------------------------------------------------
 def demo_config() -> SweepConfig:
-    """The committed ``BENCH_6.json`` grid.
+    """The committed trajectory grid (``BENCH_6.json`` onward).
 
     Nine serving trials on a sessionized chat trace at a deliberately
     tight 1 GB KV budget: three KV schemes crossed with (reserve,
@@ -859,7 +865,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     source.add_argument("--preset", default="demo",
                         choices=sorted(PRESETS),
                         help="built-in sweep grid (default: demo, the "
-                             "committed BENCH_6 grid)")
+                             "committed trajectory grid)")
     parser.add_argument("--out", type=Path, default=None,
                         help=f"trajectory output path (default: "
                              f"BENCH_{PR_NUMBER}.json in the repo root)")
@@ -891,7 +897,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"trajectory -> {out}")
 
     previous = None
-    baseline = args.baseline or find_previous(out.parent, trajectory.pr)
+    baseline = args.baseline or find_previous(out.parent, trajectory.pr,
+                                              exclude=out)
     if baseline is not None:
         previous = Trajectory.load(baseline)
         print(f"baseline   <- {baseline} (PR {previous.pr})")

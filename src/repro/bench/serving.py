@@ -37,6 +37,7 @@ from repro.bench.workloads import attention_sample, weight_sample
 from repro.core.engine import ComputeEngine
 from repro.gpu.spec import GPUSpec, RTX4090, get_spec
 from repro.llm.config import LlamaConfig, llama_7b
+from repro.serve.api import SchedulerConfig, SimConfig
 from repro.serve.costs import StepCostModel
 from repro.serve.requests import (
     LengthSampler,
@@ -47,11 +48,7 @@ from repro.serve.requests import (
     shared_prefix_trace,
     trace_stats,
 )
-from repro.serve.scheduler import (
-    ADMISSION_POLICIES,
-    ContinuousBatchScheduler,
-    KVBudget,
-)
+from repro.serve.scheduler import ADMISSION_POLICIES, KVBudget
 from repro.serve.simulator import ServingReport, ServingSimulator
 from repro.vq.algorithms import make_config
 
@@ -211,16 +208,18 @@ def simulate_mode(
         config, mode,
         capacity_bytes=None if kv_hbm_gb is None else kv_hbm_gb * 1e9,
         spec=spec)
-    scheduler = ContinuousBatchScheduler(budget, token_budget=token_budget,
-                                         max_seqs=max_seqs,
-                                         admission=admission,
-                                         block_tokens=block_tokens,
-                                         prefix_caching=prefix_caching)
     name = mode if admission == "reserve" else f"{mode}/{admission}"
     if prefix_caching:
         name += "+prefix"
+    sim_config = SimConfig(
+        scheduler=SchedulerConfig(token_budget=token_budget,
+                                  max_seqs=max_seqs,
+                                  admission=admission,
+                                  block_tokens=block_tokens,
+                                  prefix_caching=prefix_caching),
+        name=name)
     cost_model = make_cost_model(engine, config, mode)
-    return ServingSimulator(scheduler, cost_model, name=name).run(trace)
+    return sim_config.build(budget, cost_model).run(trace)
 
 
 def serving_comparison(

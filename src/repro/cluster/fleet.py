@@ -9,11 +9,16 @@ trace, the router inspects replica state *as of the arrival instant*
 and picks a target, and each replica then runs its own iteration loop
 exactly as the single-engine :class:`~repro.serve.simulator.ServingSimulator`
 does.  Replicas never interact except through routing, so the event
-loop only has to keep replica clocks consistent with arrival order:
-every replica is advanced to each arrival time before the router looks
-at queue depths (an iteration already in flight may overshoot the
-arrival — the request then waits for the iteration boundary, as on a
-real engine).
+loop only has to keep replica clocks consistent with arrival order.
+The driver is the shared global event heap
+(:class:`~repro.serve.events.EventLoop`): arrivals and per-replica
+iteration boundaries pop in simulated-time order, so by the time an
+arrival pops every busy replica has already stepped past (or exactly
+to) the arrival instant — the state the router inspects is identical
+to the old advance-everyone lockstep, but idle replicas are simply not
+in the heap and are never polled (an iteration already in flight may
+overshoot the arrival — the request then waits for the iteration
+boundary, as on a real engine).
 
 Routing policies:
 
@@ -41,13 +46,19 @@ from __future__ import annotations
 
 import bisect
 import hashlib
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.serve.api import FleetConfig
 from repro.serve.costs import StepCostModel
+from repro.serve.events import ARRIVAL, STEP, EventLoop, EventStats
 from repro.serve.requests import Request
 from repro.serve.scheduler import ContinuousBatchScheduler
 from repro.serve.simulator import RequestRecord, percentile
+
+#: Sentinel distinguishing "kwarg not passed" from any real value.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -95,6 +106,12 @@ class Replica:
         self.n_submitted = 0
         self.peak_kv = 0.0
         self.finished: list = []
+        #: Times a driver activated this replica — one per iteration
+        #: under the event heap, but one per *arrival* (plus one per
+        #: iteration) under the legacy lockstep :meth:`advance_to`
+        #: driver, which polls idle replicas too.  The regression test
+        #: for the lockstep inefficiency pins the difference.
+        self.n_wakeups = 0
 
     @property
     def has_work(self) -> bool:
@@ -144,7 +161,14 @@ class Replica:
         self.finished.extend(self.scheduler.complete(plan, self.now_s))
 
     def advance_to(self, t_s: float) -> None:
-        """Run iterations until the clock reaches ``t_s`` or work runs out."""
+        """Run iterations until the clock reaches ``t_s`` or work runs out.
+
+        The legacy lockstep driver: :meth:`FleetSimulator.run` no
+        longer calls it (the global event heap orders replica
+        boundaries against arrivals instead), but it remains the
+        reference semantics the heap is equivalence-tested against.
+        """
+        self.n_wakeups += 1
         while self.has_work and self.now_s < t_s:
             self.step()
 
@@ -440,20 +464,51 @@ class FleetReport:
 # Fleet simulator
 # ----------------------------------------------------------------------
 class FleetSimulator:
-    """Routes a trace across replicas and drains them to a report."""
+    """Routes a trace across replicas and drains them to a report.
+
+    The driver is the shared event heap: per-replica iteration
+    boundaries and request arrivals pop in global simulated-time order
+    (ties break arrivals-first, matching the old strict
+    ``now_s < arrival`` lockstep), so the router always inspects every
+    replica advanced to the arrival instant while idle replicas stay
+    out of the heap entirely.  ``last_event_stats`` exposes the event
+    counters of the most recent :meth:`run`.
+    """
 
     def __init__(self, replicas: Sequence[Replica],
-                 policy: Union[str, RouterPolicy] = "jsq",
-                 name: str = "fleet"):
+                 policy: Union[str, RouterPolicy] = _UNSET,
+                 name: str = _UNSET,
+                 config: Optional[FleetConfig] = None):
         if not replicas:
             raise ValueError("need at least one replica")
+        legacy = {k: v for k, v in (("policy", policy), ("name", name))
+                  if v is not _UNSET}
+        if config is not None:
+            if legacy:
+                raise TypeError(
+                    "pass either config= or legacy fleet kwargs, not "
+                    f"both (got {sorted(legacy)})")
+        else:
+            if legacy:
+                warnings.warn(
+                    "passing fleet options as individual kwargs is "
+                    "deprecated; pass config=FleetConfig(...) "
+                    "(repro.serve.api)", DeprecationWarning, stacklevel=2)
+            config = FleetConfig(**legacy)
+        self.config = config
         self.replicas = list(replicas)
-        self.policy = make_policy(policy)
-        self.name = name
+        self.policy = make_policy(config.policy)
+        self.name = config.name
+        self.last_event_stats: Optional[EventStats] = None
 
     def run(self, trace: Sequence[Request],
-            max_iterations: int = 1_000_000) -> FleetReport:
-        """Simulate the full trace; returns the fleet-level report."""
+            max_iterations: Optional[int] = None) -> FleetReport:
+        """Simulate the full trace; returns the fleet-level report.
+
+        ``max_iterations`` (per replica) defaults to the config's cap.
+        """
+        if max_iterations is None:
+            max_iterations = self.config.max_iterations
         pending = sorted(trace, key=lambda r: r.arrival_s)
         if not pending:
             raise ValueError("empty trace")
@@ -461,9 +516,35 @@ class FleetSimulator:
         assignments: Dict[int, int] = {}
         rejected: List[Request] = []
 
+        loop = EventLoop()
         for req in pending:
-            for rep in replicas:
-                rep.advance_to(req.arrival_s)
+            loop.push(req.arrival_s, ARRIVAL, req)
+        #: Whether replica i currently owns a STEP event in the heap
+        #: (exactly one while it has work; entries never go stale
+        #: because only step() moves a busy replica's clock).
+        in_heap = [rep.has_work for rep in replicas]
+        for i, rep in enumerate(replicas):
+            if in_heap[i]:
+                loop.push(rep.now_s, STEP, i)
+
+        while not loop.empty:
+            t_s, kind, payload = loop.pop()
+            if kind == STEP:
+                idx = payload
+                rep = replicas[idx]
+                rep.n_wakeups += 1
+                if rep.iterations >= max_iterations:
+                    raise RuntimeError(
+                        f"replica {rep.replica_id} exceeded "
+                        f"{max_iterations} iterations; the offered load "
+                        "likely diverges")
+                rep.step()
+                if rep.has_work:
+                    loop.push(rep.now_s, STEP, idx)
+                else:
+                    in_heap[idx] = False
+                continue
+            req = payload
             candidates = [i for i, rep in enumerate(replicas)
                           if rep.scheduler.fits(req)]
             if not candidates:
@@ -476,15 +557,10 @@ class FleetSimulator:
                     f"not one of the feasible {candidates}")
             replicas[idx].submit(req)
             assignments[req.req_id] = idx
-
-        for rep in replicas:
-            while rep.has_work:
-                if rep.iterations >= max_iterations:
-                    raise RuntimeError(
-                        f"replica {rep.replica_id} exceeded "
-                        f"{max_iterations} iterations; the offered load "
-                        "likely diverges")
-                rep.step()
+            if not in_heap[idx]:
+                loop.push(replicas[idx].now_s, STEP, idx)
+                in_heap[idx] = True
+        self.last_event_stats = loop.stats
 
         records = [
             RequestRecord(
@@ -543,9 +619,11 @@ def size_fleet(
         raise ValueError("max_replicas must be >= 1")
     report = None
     for n in range(1, max_replicas + 1):
-        sim = FleetSimulator(make_replicas(n), policy=make_policy(policy)
-                             if isinstance(policy, str) else policy,
-                             name=f"fleet-{n}")
+        sim = FleetSimulator(
+            make_replicas(n),
+            config=FleetConfig(policy=make_policy(policy)
+                               if isinstance(policy, str) else policy,
+                               name=f"fleet-{n}"))
         report = sim.run(trace)
         if report.meets(slo):
             return n, report

@@ -33,7 +33,9 @@ See ``docs/architecture.md`` for the full data-flow picture and
 ready-made FP16-vs-VQ comparisons.
 """
 
+from repro.serve.api import FleetConfig, Report, SchedulerConfig, SimConfig
 from repro.serve.costs import StepCostModel
+from repro.serve.events import ARRIVAL, STEP, TRANSFER, EventLoop, EventStats
 from repro.serve.paging import PagedKVAllocator, PagingStats
 from repro.serve.prefix import (
     PrefixCache,
@@ -69,8 +71,12 @@ from repro.serve.simulator import (
 
 __all__ = [
     "ADMISSION_POLICIES",
+    "ARRIVAL",
     "BatchPlan",
     "ContinuousBatchScheduler",
+    "EventLoop",
+    "EventStats",
+    "FleetConfig",
     "KVBudget",
     "LengthSampler",
     "PagedKVAllocator",
@@ -78,12 +84,17 @@ __all__ = [
     "PrefixCache",
     "PrefixCachingAllocator",
     "PrefixStats",
+    "Report",
     "Request",
     "RequestRecord",
+    "STEP",
+    "SchedulerConfig",
     "SequenceState",
     "ServingReport",
     "ServingSimulator",
+    "SimConfig",
     "StepCostModel",
+    "TRANSFER",
     "bursty_trace",
     "kv_bytes_per_token",
     "kv_codebook_bytes",

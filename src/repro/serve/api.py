@@ -1,0 +1,141 @@
+"""Typed configuration facade and unified report surface.
+
+The simulator grew one constructor kwarg at a time — by PR 6 a serving
+run threaded six scheduler knobs plus simulator and fleet options
+through every call site.  This module is the stable public surface that
+replaces that sprawl:
+
+- :class:`SchedulerConfig` / :class:`SimConfig` / :class:`FleetConfig`
+  are frozen dataclasses describing a scheduler, a single-engine
+  simulation and a fleet simulation.  Each has a ``build`` method that
+  produces the live object; the underlying constructors
+  (:class:`~repro.serve.scheduler.ContinuousBatchScheduler`,
+  :class:`~repro.serve.simulator.ServingSimulator`,
+  :class:`~repro.cluster.fleet.FleetSimulator`) also accept
+  ``config=`` directly.
+- Legacy keyword arguments on those constructors still work but emit a
+  :class:`DeprecationWarning` naming the config class to use instead;
+  the two paths are equivalence-tested (``tests/test_serve_api.py``).
+  Positional/keyword *objects* (budget, cost model, replicas) are not
+  deprecated — only the scalar option sprawl is.
+- :class:`Report` is the structural protocol both
+  :class:`~repro.serve.simulator.ServingReport` and
+  :class:`~repro.cluster.fleet.FleetReport` satisfy: ``metrics()``
+  returns the flat JSON-safe dict the experiment orchestrator
+  persists, ``summary()`` the human-readable block.
+
+Deprecation policy: legacy kwargs are kept working for one PR cycle
+after their replacement lands, warning on every explicit use, and are
+removed only when no in-repo call site needs them.  Configs are frozen
+so they can be shared across replicas and processes (the orchestrator
+pickles them into its worker pool) without aliasing surprises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Protocol, runtime_checkable
+
+__all__ = [
+    "FleetConfig",
+    "Report",
+    "SchedulerConfig",
+    "SimConfig",
+]
+
+
+@runtime_checkable
+class Report(Protocol):
+    """What every simulation report exposes, regardless of layer.
+
+    ``metrics()`` is the flat JSON-safe dict (plain ``int``/``float``
+    values, losslessly serialisable) persisted to the perf trajectory;
+    ``summary()`` is the multi-line human-readable form.  The protocol
+    is structural (``runtime_checkable``): any object with conforming
+    methods counts, which is how :class:`~repro.serve.simulator.
+    ServingReport` and :class:`~repro.cluster.fleet.FleetReport`
+    implement it without a shared base class.
+    """
+
+    def metrics(self) -> dict:  # pragma: no cover - protocol stub
+        ...
+
+    def summary(self) -> str:  # pragma: no cover - protocol stub
+        ...
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Options of one :class:`~repro.serve.scheduler.
+    ContinuousBatchScheduler` (everything but the KV budget, which is
+    workload state, not configuration)."""
+
+    #: Max tokens per iteration (vLLM's ``max_num_batched_tokens``).
+    token_budget: int = 2048
+    #: Max concurrently admitted sequences.
+    max_seqs: int = 64
+    #: ``"reserve"`` (worst-case reservations) or ``"paged"`` (block
+    #: pool with recompute preemption).
+    admission: str = "reserve"
+    #: Token slots per KV block under paged admission.
+    block_tokens: int = 16
+    #: Fraction of the block pool kept free at admission time.
+    watermark_frac: float = 0.01
+    #: Share KV blocks across common prompt prefixes (paged only).
+    prefix_caching: bool = False
+
+    def build(self, budget) -> "ContinuousBatchScheduler":
+        """A fresh scheduler over ``budget`` with these options."""
+        from repro.serve.scheduler import ContinuousBatchScheduler
+        return ContinuousBatchScheduler(budget, config=self)
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """One single-engine serving simulation: scheduler options plus
+    the simulator's own knobs."""
+
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    name: str = "serving"
+    #: Iteration cap before the run aborts (diverging offered load).
+    max_iterations: int = 1_000_000
+
+    def build(self, budget, cost_model) -> "ServingSimulator":
+        """A fresh simulator: scheduler over ``budget``, this config."""
+        from repro.serve.simulator import ServingSimulator
+        return ServingSimulator(self.scheduler.build(budget), cost_model,
+                                config=self)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One fleet simulation: per-replica scheduler options, routing
+    policy and the fleet driver's knobs."""
+
+    scheduler: SchedulerConfig = field(
+        default_factory=lambda: SchedulerConfig(max_seqs=128))
+    #: Routing policy name (see :data:`repro.cluster.fleet.POLICIES`)
+    #: or a :class:`~repro.cluster.fleet.RouterPolicy` instance.
+    policy: object = "jsq"
+    name: str = "fleet"
+    #: Per-replica iteration cap before the run aborts.
+    max_iterations: int = 1_000_000
+
+    def with_policy(self, policy) -> "FleetConfig":
+        """This config with a different routing policy (stateful
+        policies must be fresh per run, hence the helper)."""
+        return replace(self, policy=policy)
+
+    def build(self, n_replicas: int, budget, cost_model,
+              name: Optional[str] = None) -> "FleetSimulator":
+        """A fleet of ``n_replicas`` identical fresh replicas.
+
+        Every replica gets its own scheduler over (a copy of the
+        accounting for) ``budget``; the cost model is shared, which is
+        safe — it is read-only at simulation time.
+        """
+        from repro.cluster.fleet import FleetSimulator, Replica
+        cfg = self if name is None else replace(self, name=name)
+        replicas = [Replica(i, self.scheduler.build(budget), cost_model)
+                    for i in range(n_replicas)]
+        return FleetSimulator(replicas, config=cfg)

@@ -43,19 +43,27 @@ simulator and cost model.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, List, Optional, Tuple
 
+import numpy as np
+
 from repro.llm.config import LlamaConfig
 from repro.vq.config import VQConfig
 
+from repro.serve.api import SchedulerConfig
 from repro.serve.paging import PagedKVAllocator
 from repro.serve.prefix import PrefixCachingAllocator, PrefixStats
 from repro.serve.requests import Request
 
 #: Admission policies :class:`ContinuousBatchScheduler` understands.
 ADMISSION_POLICIES = ("reserve", "paged")
+
+#: Sentinel distinguishing "kwarg not passed" from any real value, so
+#: the constructor can warn only on *explicit* legacy kwargs.
+_UNSET = object()
 
 
 def kv_bytes_per_token(config: LlamaConfig,
@@ -235,6 +243,17 @@ class BatchPlan:
 
     prefill: List[Tuple[SequenceState, int]] = field(default_factory=list)
     decode: List[SequenceState] = field(default_factory=list)
+    #: Scheduler-stamped value of :meth:`mean_context` (set on the
+    #: reserve fast path from an incrementally maintained context sum;
+    #: ``None`` means "derive from ``decode``").  The sum is exact
+    #: integer arithmetic either way, so the cached value is
+    #: bit-identical to the derived one.
+    cached_mean_context: Optional[float] = None
+    #: True when ``decode`` is exactly the scheduler's decoding set (one
+    #: round-robin rotation of it) — lets ``complete`` detect finished
+    #: sequences with one vectorized counter update instead of a
+    #: per-sequence property scan.
+    full_decode: bool = False
 
     @property
     def prefill_tokens(self) -> int:
@@ -263,6 +282,8 @@ class BatchPlan:
 
     def mean_context(self) -> float:
         """Mean decode context length (tokens already in cache)."""
+        if self.cached_mean_context is not None:
+            return self.cached_mean_context
         if not self.decode:
             return 0.0
         return sum(s.context_tokens for s in self.decode) / len(self.decode)
@@ -275,6 +296,12 @@ class ContinuousBatchScheduler:
     ----------
     budget:
         The KV-cache memory allowance.
+    config:
+        A :class:`~repro.serve.api.SchedulerConfig` carrying every
+        option below — the preferred construction surface.  Passing the
+        options as individual kwargs still works but is deprecated
+        (emits :class:`DeprecationWarning`); the two paths are
+        equivalence-tested.
     token_budget:
         Maximum tokens processed per iteration (decode tokens + prefill
         chunk), the knob vLLM calls ``max_num_batched_tokens``.
@@ -305,10 +332,34 @@ class ContinuousBatchScheduler:
         them for live sequences.
     """
 
-    def __init__(self, budget: KVBudget, token_budget: int = 2048,
-                 max_seqs: int = 64, admission: str = "reserve",
-                 block_tokens: int = 16, watermark_frac: float = 0.01,
-                 prefix_caching: bool = False):
+    def __init__(self, budget: KVBudget, token_budget: int = _UNSET,
+                 max_seqs: int = _UNSET, admission: str = _UNSET,
+                 block_tokens: int = _UNSET, watermark_frac: float = _UNSET,
+                 prefix_caching: bool = _UNSET,
+                 config: Optional[SchedulerConfig] = None):
+        legacy = {name: value for name, value in (
+            ("token_budget", token_budget), ("max_seqs", max_seqs),
+            ("admission", admission), ("block_tokens", block_tokens),
+            ("watermark_frac", watermark_frac),
+            ("prefix_caching", prefix_caching)) if value is not _UNSET}
+        if config is not None:
+            if legacy:
+                raise TypeError(
+                    "pass either config= or legacy scheduler kwargs, not "
+                    f"both (got {sorted(legacy)})")
+        else:
+            if legacy:
+                warnings.warn(
+                    "passing scheduler options as individual kwargs is "
+                    "deprecated; pass config=SchedulerConfig(...) "
+                    "(repro.serve.api)", DeprecationWarning, stacklevel=2)
+            config = SchedulerConfig(**legacy)
+        token_budget = config.token_budget
+        max_seqs = config.max_seqs
+        admission = config.admission
+        block_tokens = config.block_tokens
+        watermark_frac = config.watermark_frac
+        prefix_caching = config.prefix_caching
         if token_budget < 1:
             raise ValueError("token_budget must be >= 1")
         if max_seqs < 1:
@@ -320,6 +371,7 @@ class ContinuousBatchScheduler:
             raise ValueError("watermark_frac must be in [0, 1)")
         if prefix_caching and admission != "paged":
             raise ValueError("prefix_caching requires admission='paged'")
+        self.config = config
         self.budget = budget
         self.token_budget = token_budget
         self.max_seqs = max_seqs
@@ -339,6 +391,37 @@ class ContinuousBatchScheduler:
         self.preempted: Deque[SequenceState] = deque()
         self.running: List[SequenceState] = []
         self.reserved_tokens = 0
+        #: Reserve-mode fast-path state.  ``running`` is partitioned
+        #: (in running order) into ``_prefilling`` and ``_decoding`` so
+        #: :meth:`schedule` never scans the whole batch; the two
+        #: integer context sums back :attr:`kv_occupancy` and
+        #: :meth:`BatchPlan.mean_context` without per-sequence property
+        #: walks; ``_dec_remaining`` holds output-tokens-left per
+        #: decoding sequence (aligned with ``_decoding``) so full-batch
+        #: iterations detect completions with one vectorized compare.
+        #: All of it is redundant bookkeeping over the same integers
+        #: the object attributes hold — results stay bit-identical.
+        #: Paged admission (preemption, block clipping) keeps the
+        #: original object path untouched.
+        self._decoding: List[SequenceState] = []
+        self._prefilling: List[SequenceState] = []
+        self._decode_ctx_sum = 0
+        self._running_ctx_sum = 0
+        self._dec_remaining = np.zeros(0, dtype=np.int64)
+        self._dec_dirty = False
+        #: Lazy-decrement offset for ``_dec_remaining``: true remaining
+        #: is ``stored - _dec_base``, so a full-rotation iteration
+        #: "decrements every element" by bumping the scalar.
+        self._dec_base = 0
+        #: Smallest *true* remaining (meaningful only while
+        #: ``_dec_remaining`` is non-empty) — completions are
+        #: impossible while > 0, so full-rotation iterations skip the
+        #: finished scan entirely.
+        self._dec_min = 0
+        #: ``budget.max_tokens`` is a derived property; hot paths read
+        #: it every iteration, so cache it (budgets are never mutated
+        #: after scheduler construction).
+        self._max_tokens = budget.max_tokens
         self._admission_counter = 0
         #: Round-robin start offset for decode-slot priority.
         self._decode_offset = 0
@@ -354,7 +437,7 @@ class ContinuousBatchScheduler:
         if self.allocator is not None:
             return (self.allocator.blocks_for_tokens(request.total_tokens)
                     <= self.allocator.total_blocks)
-        return request.total_tokens <= self.budget.max_tokens
+        return request.total_tokens <= self._max_tokens
 
     def submit(self, request: Request) -> None:
         """Enqueue an arrived request (FCFS)."""
@@ -384,7 +467,7 @@ class ContinuousBatchScheduler:
         """
         if self.allocator is not None:
             return self.allocator.used_fraction
-        return self.reserved_tokens / max(1, self.budget.max_tokens)
+        return self.reserved_tokens / max(1, self._max_tokens)
 
     @property
     def kv_occupancy(self) -> float:
@@ -402,8 +485,9 @@ class ContinuousBatchScheduler:
         if self.allocator is not None:
             frac = getattr(self.allocator, "resident_fraction", None)
             return self.allocator.used_fraction if frac is None else frac
-        live = sum(s.context_tokens for s in self.running)
-        return live / max(1, self.budget.max_tokens)
+        # Incrementally maintained integer sum — exactly equal to
+        # ``sum(s.context_tokens for s in self.running)``.
+        return self._running_ctx_sum / max(1, self._max_tokens)
 
     def prefix_stats(self) -> Optional[PrefixStats]:
         """Hit/miss/evict counters (``None`` unless prefix caching)."""
@@ -429,7 +513,7 @@ class ContinuousBatchScheduler:
             return (alloc.used_blocks + queued) / alloc.total_blocks
         demand = (self.reserved_tokens
                   + sum(r.total_tokens for r in self.waiting))
-        return demand / max(1, self.budget.max_tokens)
+        return demand / max(1, self._max_tokens)
 
     @property
     def kv_fragmentation(self) -> float:
@@ -456,11 +540,16 @@ class ContinuousBatchScheduler:
             while self.waiting and len(self.running) < self.max_seqs:
                 nxt = self.waiting[0]
                 if (self.reserved_tokens + nxt.total_tokens
-                        > self.budget.max_tokens):
+                        > self._max_tokens):
                     break
                 self.waiting.popleft()
-                self.running.append(self._new_sequence(nxt, now_s))
+                seq = self._new_sequence(nxt, now_s)
+                self.running.append(seq)
                 self.reserved_tokens += nxt.total_tokens
+                # prompt_tokens >= 1 (Request validation), so a fresh
+                # sequence always starts in the prefill partition.
+                self._prefilling.append(seq)
+                self._running_ctx_sum += seq.context_tokens
         self.peak_seqs = max(self.peak_seqs, len(self.running))
         self.peak_reserved_tokens = max(self.peak_reserved_tokens,
                                         self.reserved_tokens)
@@ -658,24 +747,45 @@ class ContinuousBatchScheduler:
         #: an id set, so skipping them costs O(1) per candidate instead
         #: of an equality scan of ``running``.
         evicted_ids: set = set()
-        candidates = [s for s in self.running if s.in_decode]
+        if self.allocator is None:
+            # Reserve mode maintains the decode partition incrementally
+            # (running order, same as the ``in_decode`` scan would
+            # yield): prefill completes strictly in running order —
+            # earlier sequences drain the chunk budget first — so
+            # appending on entry preserves it.
+            candidates = self._decoding
+        else:
+            candidates = [s for s in self.running if s.in_decode]
         if candidates and budget > 0:
             start = self._decode_offset % len(candidates)
-            granted = 0
-            for seq in candidates[start:] + candidates[:start]:
-                if budget <= 0:
-                    break
-                if id(seq) in evicted_ids:
-                    continue  # preempted as a victim earlier this plan
-                if (self.allocator is not None
-                        and not self._grow_for_decode(seq, plan,
-                                                      evicted_ids)):
-                    continue
-                plan.decode.append(seq)
-                budget -= 1
-                granted += 1
-            self._decode_offset = (start + granted) % len(candidates)
-        for seq in list(self.running):
+            if self.allocator is None and budget >= len(candidates):
+                # Fast path: the whole rotation is granted — emit it as
+                # one slice concatenation.  ``(start + granted) % len``
+                # is ``start`` again when every candidate is granted.
+                plan.decode = candidates[start:] + candidates[:start]
+                plan.full_decode = True
+                plan.cached_mean_context = (self._decode_ctx_sum
+                                            / len(candidates))
+                budget -= len(candidates)
+                self._decode_offset = start
+            else:
+                granted = 0
+                for seq in candidates[start:] + candidates[:start]:
+                    if budget <= 0:
+                        break
+                    if id(seq) in evicted_ids:
+                        continue  # preempted as a victim earlier this plan
+                    if (self.allocator is not None
+                            and not self._grow_for_decode(seq, plan,
+                                                          evicted_ids)):
+                        continue
+                    plan.decode.append(seq)
+                    budget -= 1
+                    granted += 1
+                self._decode_offset = (start + granted) % len(candidates)
+        prefill_src = (self._prefilling if self.allocator is None
+                       else self.running)
+        for seq in list(prefill_src):
             if budget <= 0:
                 break
             if seq.prefill_remaining > 0:
@@ -697,6 +807,8 @@ class ContinuousBatchScheduler:
         preemption the same rule re-applies: the iteration completing
         the re-prefill samples the *next* token.
         """
+        if self.allocator is None:
+            return self._complete_reserve(plan, now_s)
         finished: List[SequenceState] = []
         for seq, chunk in plan.prefill:
             seq.prefilled += chunk
@@ -715,9 +827,107 @@ class ContinuousBatchScheduler:
             if seq.finished:
                 seq.finished_s = now_s
                 self.running.remove(seq)
-                if self.allocator is not None:
-                    self._release_blocks(seq)
-                else:
-                    self.reserved_tokens -= seq.reserved_tokens
+                self._release_blocks(seq)
                 finished.append(seq)
+        return finished
+
+    def _complete_reserve(self, plan: BatchPlan,
+                          now_s: float) -> List[SequenceState]:
+        """Reserve-mode :meth:`complete`: same transitions, maintained
+        incrementally over the fast-path partitions.
+
+        Only sequences granted a token this iteration can newly finish,
+        so the finished scan never walks ``running``: a full-rotation
+        decode grant is checked with one vectorized decrement of
+        ``_dec_remaining`` (``full_decode`` plans), anything else falls
+        back to scanning just the decode partition.  The vectorized
+        decrement itself is lazy — a scalar ``_dec_base`` offset stands
+        in for subtracting 1 from every element, and ``_dec_min``
+        (smallest true remaining) proves most iterations cannot finish
+        anyone, so the steady-state cost per iteration is two integer
+        ops, not an array pass.  All sums are integer arithmetic —
+        metrics stay bit-identical to the original whole-batch scans.
+        """
+        entrants: List[SequenceState] = []
+        for seq, chunk in plan.prefill:
+            seq.prefilled += chunk
+            self._running_ctx_sum += chunk
+            if seq.prefill_remaining == 0:
+                seq.generated += 1
+                self._running_ctx_sum += 1
+                if seq.first_token_s is None:
+                    seq.first_token_s = now_s
+                # Completions are a prefix of the prefill partition
+                # (earlier sequences drain the budget first), so this
+                # removal hits index 0 and is O(1).
+                self._prefilling.remove(seq)
+                entrants.append(seq)
+        for seq in plan.decode:
+            seq.generated += 1
+            if seq.first_token_s is None:
+                seq.first_token_s = now_s
+        n_decode = len(plan.decode)
+        self._running_ctx_sum += n_decode
+        self._decode_ctx_sum += n_decode
+        # High-water mark of resident KV, before finished sequences free.
+        self.peak_kv_occupancy = max(self.peak_kv_occupancy,
+                                     self.kv_occupancy)
+        decode_done: List[SequenceState] = []
+        if plan.full_decode and n_decode == len(self._decoding):
+            if self._dec_dirty:
+                # Rebuild post-increment: values already reflect this
+                # iteration's token, so no decrement on this branch.
+                self._dec_remaining = np.fromiter(
+                    (s.request.output_tokens - s.generated
+                     for s in self._decoding),
+                    dtype=np.int64, count=n_decode)
+                self._dec_base = 0
+                self._dec_dirty = False
+                self._dec_min = int(self._dec_remaining.min())
+            else:
+                # Lazy decrement of the whole array: true remaining is
+                # ``stored - _dec_base``.
+                self._dec_base += 1
+                self._dec_min -= 1
+            if n_decode and self._dec_min <= 0:
+                done = self._dec_remaining <= self._dec_base
+                decode_done = [self._decoding[i]
+                               for i in np.nonzero(done)[0]]
+                self._dec_remaining = self._dec_remaining[~done]
+                self._dec_min = (int(self._dec_remaining.min())
+                                 - self._dec_base
+                                 if self._dec_remaining.size else 0)
+        elif n_decode:
+            self._dec_dirty = True
+            decode_done = [s for s in self._decoding if s.finished]
+        # Decode finishers precede entrant finishers in running order:
+        # decode entry follows running order, and entrants are the
+        # youngest decoders-to-be.
+        finished = decode_done + [s for s in entrants if s.finished]
+        if finished:
+            for seq in finished:
+                seq.finished_s = now_s
+                self.reserved_tokens -= seq.reserved_tokens
+                self._running_ctx_sum -= seq.context_tokens
+            dead = {id(s) for s in finished}
+            self.running[:] = [s for s in self.running if id(s) not in dead]
+            if decode_done:
+                for seq in decode_done:
+                    self._decode_ctx_sum -= seq.context_tokens
+                self._decoding[:] = [s for s in self._decoding
+                                     if id(s) not in dead]
+        live = [s for s in entrants if not s.finished]
+        if live:
+            for seq in live:
+                self._decoding.append(seq)
+                self._decode_ctx_sum += seq.context_tokens
+            if not self._dec_dirty:
+                vals = [s.request.output_tokens - s.generated
+                        for s in live]
+                vmin = min(vals)
+                self._dec_min = (vmin if self._dec_remaining.size == 0
+                                 else min(self._dec_min, vmin))
+                self._dec_remaining = np.concatenate(
+                    [self._dec_remaining,
+                     np.array(vals, dtype=np.int64) + self._dec_base])
         return finished

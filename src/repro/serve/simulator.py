@@ -3,8 +3,11 @@
 :class:`ServingSimulator` replays a request trace
 (:mod:`repro.serve.requests`) through a
 :class:`~repro.serve.scheduler.ContinuousBatchScheduler`, pricing each
-iteration with a :class:`~repro.serve.costs.StepCostModel` and advancing
-a virtual clock.  The event loop is the standard serving-engine loop:
+iteration with a :class:`~repro.serve.costs.StepCostModel`.  Time is
+owned by the shared event core (:class:`~repro.serve.events.EventLoop`
+— arrivals are heap events, the engine's iteration boundary advances
+the loop's clock), and each boundary runs the standard serving-engine
+loop:
 
 1. admit every request that has arrived by ``now``;
 2. ask the scheduler for an iteration plan (decodes + prefill chunks);
@@ -23,14 +26,20 @@ kernel stack.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.serve.api import SimConfig
 from repro.serve.costs import StepCostModel
+from repro.serve.events import ARRIVAL, EventLoop
 from repro.serve.requests import Request
 from repro.serve.scheduler import ContinuousBatchScheduler, SequenceState
+
+#: Sentinel distinguishing "kwarg not passed" from any real value.
+_UNSET = object()
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -212,39 +221,58 @@ class ServingReport:
         return "\n".join(lines)
 
 
-@dataclass
-class _Clock:
-    now_s: float = 0.0
-
-
 class ServingSimulator:
     """Drives a trace through scheduler + cost model to a report."""
 
     def __init__(self, scheduler: ContinuousBatchScheduler,
-                 cost_model: StepCostModel, name: str = "serving"):
+                 cost_model: StepCostModel, name: str = _UNSET,
+                 config: Optional[SimConfig] = None):
+        if config is not None:
+            if name is not _UNSET:
+                raise TypeError(
+                    "pass either config= or the legacy name= kwarg, "
+                    "not both")
+        else:
+            if name is not _UNSET:
+                warnings.warn(
+                    "passing simulator options as individual kwargs is "
+                    "deprecated; pass config=SimConfig(...) "
+                    "(repro.serve.api)", DeprecationWarning, stacklevel=2)
+                config = SimConfig(name=name)
+            else:
+                config = SimConfig()
+        self.config = config
         self.scheduler = scheduler
         self.cost_model = cost_model
-        self.name = name
+        self.name = config.name
 
     def run(self, trace: Sequence[Request],
-            max_iterations: int = 1_000_000) -> ServingReport:
-        """Simulate the full trace; returns the metric report."""
+            max_iterations: Optional[int] = None) -> ServingReport:
+        """Simulate the full trace; returns the metric report.
+
+        ``max_iterations`` defaults to the config's cap.
+        """
+        if max_iterations is None:
+            max_iterations = self.config.max_iterations
         pending = sorted(trace, key=lambda r: r.arrival_s)
         if not pending:
             raise ValueError("empty trace")
-        clock = _Clock()
+        loop = EventLoop()
+        for req in pending:
+            loop.push(req.arrival_s, ARRIVAL, req)
+        now_s = 0.0
         sched = self.scheduler
         finished: List[SequenceState] = []
-        next_arrival = 0
         iterations = 0
         peak_kv = 0.0
 
         rejected: List[Request] = []
         while True:
-            while (next_arrival < len(pending)
-                   and pending[next_arrival].arrival_s <= clock.now_s):
-                req = pending[next_arrival]
-                next_arrival += 1
+            while True:
+                nxt = loop.peek()
+                if nxt is None or nxt[0] > now_s:
+                    break
+                _, _, req = loop.pop()
                 if not sched.fits(req):
                     # Could never be admitted: reject up front (a real
                     # server returns 4xx) instead of wedging the queue.
@@ -252,12 +280,12 @@ class ServingSimulator:
                     continue
                 sched.submit(req)
 
-            plan = sched.schedule(clock.now_s)
+            plan = sched.schedule(now_s)
             if plan.empty:
-                if next_arrival < len(pending):
+                nxt = loop.peek()
+                if nxt is not None:
                     # Idle: fast-forward to the next arrival.
-                    clock.now_s = max(clock.now_s,
-                                      pending[next_arrival].arrival_s)
+                    now_s = max(now_s, nxt[0])
                     continue
                 if not sched.has_work:
                     break  # drained
@@ -277,9 +305,9 @@ class ServingSimulator:
                 raise RuntimeError(
                     f"simulation exceeded {max_iterations} iterations; "
                     "the offered load likely diverges")
-            clock.now_s += self.cost_model.step_us(plan) / 1e6
+            now_s += self.cost_model.step_us(plan) / 1e6
             peak_kv = max(peak_kv, sched.kv_utilization)
-            finished.extend(sched.complete(plan, clock.now_s))
+            finished.extend(sched.complete(plan, now_s))
 
         records = [
             RequestRecord(
@@ -300,7 +328,7 @@ class ServingSimulator:
         return ServingReport(
             name=self.name,
             records=records,
-            makespan_s=clock.now_s,
+            makespan_s=now_s,
             n_iterations=iterations,
             peak_seqs=sched.peak_seqs,
             peak_kv_utilization=peak_kv,

@@ -58,6 +58,57 @@ class TestWorkloads:
         assert big.n == 2 * small.n
 
 
+class TestSampleDiskCache:
+    """The persistent quantized-sample store round-trips losslessly."""
+
+    @pytest.fixture()
+    def tiny_samples(self, tmp_path, monkeypatch):
+        from repro.bench import workloads as wl
+        monkeypatch.setenv("REPRO_SAMPLE_CACHE", str(tmp_path))
+        monkeypatch.setattr(wl, "WEIGHT_SAMPLE_SHAPE", (64, 64))
+        monkeypatch.setattr(wl, "_CACHE", {})
+        yield wl, tmp_path
+
+    def test_round_trip_bit_identical(self, tiny_samples):
+        import numpy as np
+        wl, cache_dir = tiny_samples
+        first = wl.weight_sample("cq-2", kmeans_iters=1)
+        files = list(cache_dir.glob("*.npz"))
+        assert len(files) == 1
+        wl.clear_cache()
+        # The second call must be served from disk: training inputs
+        # are unreachable.
+        def boom(*a, **k):  # pragma: no cover - failure path
+            raise AssertionError("disk cache missed")
+        wl.__dict__["structured_matrix"], orig = boom, wl.structured_matrix
+        try:
+            second = wl.weight_sample("cq-2", kmeans_iters=1)
+        finally:
+            wl.__dict__["structured_matrix"] = orig
+        assert np.array_equal(first.codes, second.codes)
+        assert np.array_equal(first.group_map, second.group_map)
+        assert first.shape == second.shape
+        for ga, gb in zip(first.codebooks.books, second.codebooks.books):
+            for a, b in zip(ga, gb):
+                assert np.array_equal(a.entries, b.entries)
+                assert a.element_bytes == b.element_bytes
+
+    def test_key_mismatch_retrains(self, tiny_samples):
+        wl, cache_dir = tiny_samples
+        wl.weight_sample("cq-2", kmeans_iters=1)
+        wl.clear_cache()
+        # Different k-means depth -> different file, not a false hit.
+        wl.weight_sample("cq-2", kmeans_iters=2)
+        assert len(list(cache_dir.glob("*.npz"))) == 2
+
+    def test_opt_out(self, tiny_samples, monkeypatch):
+        wl, cache_dir = tiny_samples
+        monkeypatch.setenv("REPRO_SAMPLE_CACHE", "off")
+        assert wl._sample_cache_dir() is None
+        wl.weight_sample("cq-2", kmeans_iters=1)
+        assert not list(cache_dir.glob("*.npz"))
+
+
 class TestAccuracyProxy:
     def test_vq_beats_elementwise_on_correlated_data(self):
         data = correlated_2d_sample(n=2048, rho=0.9, seed=0)
@@ -113,6 +164,22 @@ class TestE2ELedger:
     def test_unknown_mode_rejected(self, ledger):
         with pytest.raises(ValueError):
             ledger.decode_step(1, 128, "int3")
+
+    def test_run_returns_result_and_reports(self):
+        from repro.bench.e2e import DecodeStepBreakdown, run
+
+        reports = {}
+        result = run(["--modes", "fp16", "qserve", "--batch", "4",
+                      "--prompt-len", "128", "--gen-tokens", "8"],
+                     reports=reports)
+        assert [r[0] for r in result.rows] == ["fp16", "qserve"]
+        assert set(reports) == {"fp16", "qserve"}
+        assert all(isinstance(b, DecodeStepBreakdown)
+                   for b in reports.values())
+        by_mode = {r[0]: dict(zip(result.columns, r))
+                   for r in result.rows}
+        assert by_mode["fp16"]["speedup_vs_fp16"] == pytest.approx(1.0)
+        assert by_mode["qserve"]["speedup_vs_fp16"] > 1.0
 
 
 class TestServingBench:

@@ -171,9 +171,14 @@ class TestEndToEndAnalytic:
         assert report.throughput_rps > 0
         assert report.ttft_s(50) > 0
         assert report.latency_s(99) >= report.latency_s(50)
-        # Memoization keeps the distinct kernel evaluations tiny.
+        # Memoization keeps the distinct kernel evaluations tiny: the
+        # cost model's bucket tables absorb repeated iteration shapes,
+        # and the engine memo deduplicates what leaks past them, so
+        # cache hits across the two layers dwarf distinct evaluations.
         info = engine.memo_info()
-        assert info["hits"] > info["misses"]
+        tables = cost.table_info()
+        assert tables["hits"] > 0
+        assert info["hits"] + tables["hits"] > info["misses"]
         # The summary renders every headline metric.
         text = report.summary()
         for token in ("throughput", "TTFT", "TPOT", "latency", "p99"):

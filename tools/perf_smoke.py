@@ -1,0 +1,116 @@
+"""Wall-clock performance gate for the fast-path simulation core.
+
+CI runs this after the functional suites: it exercises the two perf
+targets of the event-core PR and fails loudly when either regresses by
+more than ~2x, catching accidental slow-path reintroductions (a
+scheduler falling off the full-rotation fast path, the sample disk
+cache breaking, an O(n) scan reappearing per iteration).
+
+Checks:
+
+1. ``examples/cluster_serving.py`` warm wall clock.  The first run
+   trains/loads quantized samples (cold); the timed second run is the
+   steady state the 18x speedup claim is about (~0.7 s locally).  The
+   default budget allows roughly 2x for slower CI hardware on top of
+   the 2x regression allowance.
+2. Event-core throughput: a large constant-cost serving simulation must
+   sustain a floor in simulated requests per wall-clock second (the
+   1M-requests-under-60 s target runs at ~21 k req/s locally; the
+   floor is ~2x CI slack on top of a 2x regression allowance).
+
+Run with::
+
+    PYTHONPATH=src python tools/perf_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import runpy
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.serve.api import SchedulerConfig, SimConfig  # noqa: E402
+from repro.serve.requests import Request  # noqa: E402
+from repro.serve.scheduler import KVBudget  # noqa: E402
+
+
+class _ConstantCostModel:
+    """Fixed step cost: isolates scheduler/event-core overhead."""
+
+    def step_us(self, plan):
+        return 150.0
+
+
+def _run_example(path: Path) -> float:
+    """Run one example silently; return its wall clock in seconds."""
+    t0 = time.perf_counter()
+    with contextlib.redirect_stdout(io.StringIO()):
+        runpy.run_path(str(path), run_name="__main__")
+    return time.perf_counter() - t0
+
+
+def _event_core_rps(n_requests: int) -> float:
+    """Simulated requests per wall-clock second on a constant-cost sim."""
+    trace = [Request(req_id=i, arrival_s=i * 0.0002, prompt_tokens=32,
+                     output_tokens=8) for i in range(n_requests)]
+    budget = KVBudget(capacity_bytes=4e6, bytes_per_token=1.0)
+    sim = SimConfig(scheduler=SchedulerConfig(token_budget=4096,
+                                              max_seqs=256),
+                    name="perf-smoke",
+                    max_iterations=50_000_000).build(budget,
+                                                     _ConstantCostModel())
+    t0 = time.perf_counter()
+    report = sim.run(trace)
+    elapsed = time.perf_counter() - t0
+    assert report.n_requests == n_requests
+    return n_requests / elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/perf_smoke.py",
+        description="Fail on >~2x wall-clock regression of the "
+                    "fast-path simulation core.")
+    parser.add_argument("--budget-s", type=float, default=3.0,
+                        help="warm cluster_serving.py wall-clock budget "
+                             "(default 3.0 s; ~0.7 s locally)")
+    parser.add_argument("--min-rps", type=float, default=5000.0,
+                        help="event-core floor, simulated requests per "
+                             "second (default 5000; ~21k locally)")
+    parser.add_argument("--requests", type=int, default=200_000,
+                        help="trace size for the event-core check")
+    args = parser.parse_args(argv)
+
+    example = ROOT / "examples" / "cluster_serving.py"
+    cold_s = _run_example(example)
+    warm_s = _run_example(example)
+    print(f"cluster_serving.py: cold {cold_s:.2f} s, warm {warm_s:.2f} s "
+          f"(budget {args.budget_s:.2f} s)")
+
+    rps = _event_core_rps(args.requests)
+    print(f"event core: {args.requests:,} requests at {rps:,.0f} req/s "
+          f"(floor {args.min_rps:,.0f})")
+
+    failed = False
+    if warm_s > args.budget_s:
+        print(f"PERF REGRESSION: warm cluster_serving.py took "
+              f"{warm_s:.2f} s > {args.budget_s:.2f} s budget")
+        failed = True
+    if rps < args.min_rps:
+        print(f"PERF REGRESSION: event core at {rps:,.0f} req/s < "
+              f"{args.min_rps:,.0f} floor")
+        failed = True
+    if not failed:
+        print("perf smoke passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
