@@ -10,7 +10,14 @@ first token by keeping the admission queue short.
 Run with::
 
     PYTHONPATH=src python examples/serving_simulation.py
+
+Pass ``--trace-out trace.json`` to also record a :mod:`repro.obs`
+timeline of all three runs as Chrome/Perfetto ``trace_event`` JSON
+(open at https://ui.perfetto.dev, or summarize with
+``python -m repro.obs.report trace.json``).
 """
+
+import argparse
 
 from repro.bench.serving import serving_comparison, simulate_mode
 from repro.core.engine import ComputeEngine
@@ -23,7 +30,12 @@ WORKLOAD = dict(kv_hbm_gb=4.0, rate_rps=16.0, n_requests=64,
                 prompt_mean=384, output_mean=96, seed=0)
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a Perfetto trace of the three runs")
+    args = parser.parse_args(argv)
+
     spec, config = RTX4090, llama_7b()
     engine = ComputeEngine(spec)
 
@@ -34,7 +46,7 @@ def main():
     reports = {}
     for mode in ("fp16", "kv-cq-4", "kv-cq-2"):
         rep = simulate_mode(mode, spec=spec, config=config, engine=engine,
-                            **WORKLOAD)
+                            trace=args.trace_out is not None, **WORKLOAD)
         reports[mode] = rep
         print(rep.summary())
         print()
@@ -51,6 +63,16 @@ def main():
     print("\nFull comparison table (same engine, shared latency memo):")
     print(serving_comparison(spec=spec, config=config, engine=engine,
                              **WORKLOAD))
+
+    if args.trace_out:
+        from repro.obs import write_perfetto
+        write_perfetto(args.trace_out,
+                       {m: r.tracer for m, r in reports.items()
+                        if r.tracer is not None},
+                       name="serving_simulation")
+        print(f"\nwrote Perfetto trace: {args.trace_out} "
+              f"(open at ui.perfetto.dev or run "
+              f"python -m repro.obs.report {args.trace_out})")
 
 
 if __name__ == "__main__":

@@ -23,7 +23,10 @@ package reproduces it on an analytic GPU model:
   admission control, throughput/TTFT/TPOT/latency percentiles);
 - :mod:`repro.cluster` — the multi-GPU layer: interconnect collective
   models, Megatron-style tensor-parallel sharding, and a multi-replica
-  fleet simulator with routing policies and SLO-based fleet sizing.
+  fleet simulator with routing policies and SLO-based fleet sizing;
+- :mod:`repro.obs` — observability for the serving stack: a
+  zero-cost-when-disabled tracer, a Prometheus-style metrics registry,
+  and Chrome/Perfetto timeline export with a markdown report CLI.
 
 See ``README.md`` for a guided tour and ``docs/architecture.md`` for
 the data-flow picture.

@@ -28,6 +28,7 @@ from repro.bench.harness import ExperimentResult
 from repro.bench.serving import (
     SERVING_MODES,
     TRACE_KINDS,
+    _TraceKindAction,
     make_cost_model,
     make_trace,
     mode_cost_kwargs,
@@ -180,9 +181,15 @@ def fleet_sizing(
     engine: Optional[ComputeEngine] = None,
     policy: str = "least-kv",
     max_replicas: int = 8,
+    record_trace: bool = False,
     **replica_kwargs,
 ) -> Tuple[Optional[int], FleetReport]:
-    """Smallest fleet of one mode meeting the SLO on a shared trace."""
+    """Smallest fleet of one mode meeting the SLO on a shared trace.
+
+    ``record_trace=True`` turns on :mod:`repro.obs` timeline recording
+    for each candidate fleet (the returned report carries the tracer
+    of the winning run).
+    """
     config = config or llama_7b()
     engine = engine or ComputeEngine(spec)
 
@@ -191,7 +198,7 @@ def fleet_sizing(
                              engine=engine, **replica_kwargs)
 
     return size_fleet(factory, trace, slo, policy=policy,
-                      max_replicas=max_replicas)
+                      max_replicas=max_replicas, record_trace=record_trace)
 
 
 def fleet_sizing_comparison(
@@ -210,6 +217,7 @@ def fleet_sizing_comparison(
     tp_degree: int = 1,
     engine: Optional[ComputeEngine] = None,
     reports: Optional[Dict[str, Tuple[Optional[int], FleetReport]]] = None,
+    trace: bool = False,
     **replica_kwargs,
 ) -> ExperimentResult:
     """Headline comparison: GPUs each mode needs to meet the SLO.
@@ -221,8 +229,8 @@ def fleet_sizing_comparison(
     """
     config = config or llama_7b()
     engine = engine or ComputeEngine(spec)
-    trace = make_trace(trace_kind, rate_rps, n_requests,
-                       prompt_mean, output_mean, seed=seed)
+    shared_trace = make_trace(trace_kind, rate_rps, n_requests,
+                              prompt_mean, output_mean, seed=seed)
     result = ExperimentResult(
         experiment_id="fleet_sizing",
         title=f"Fleet sizing on {spec.name} ({config.name}, "
@@ -233,10 +241,11 @@ def fleet_sizing_comparison(
     )
     sizes: Dict[str, Optional[int]] = {}
     for mode in modes:
-        n, report = fleet_sizing(mode, trace, slo, spec=spec, config=config,
-                                 engine=engine, policy=policy,
+        n, report = fleet_sizing(mode, shared_trace, slo, spec=spec,
+                                 config=config, engine=engine, policy=policy,
                                  max_replicas=max_replicas,
-                                 tp_degree=tp_degree, **replica_kwargs)
+                                 tp_degree=tp_degree, record_trace=trace,
+                                 **replica_kwargs)
         sizes[mode] = n
         if reports is not None:
             reports[mode] = (n, report)
@@ -269,6 +278,7 @@ def routing_comparison(
     seed: int = 0,
     engine: Optional[ComputeEngine] = None,
     reports: Optional[Dict[str, FleetReport]] = None,
+    trace: bool = False,
     **replica_kwargs,
 ) -> ExperimentResult:
     """Routing policies on one sessionized trace with prefix caching.
@@ -283,8 +293,8 @@ def routing_comparison(
     """
     config = config or llama_7b()
     engine = engine or ComputeEngine(spec)
-    trace = make_trace(trace_kind, rate_rps, n_requests,
-                       prompt_mean, output_mean, seed=seed)
+    shared_trace = make_trace(trace_kind, rate_rps, n_requests,
+                              prompt_mean, output_mean, seed=seed)
     result = ExperimentResult(
         experiment_id="fleet_routing",
         title=f"Routing x prefix caching on {spec.name} ({config.name}, "
@@ -300,7 +310,8 @@ def routing_comparison(
         rep = FleetSimulator(replicas,
                              config=FleetConfig(
                                  policy=policy,
-                                 name=f"{mode}/{policy}")).run(trace)
+                                 name=f"{mode}/{policy}",
+                                 trace=trace)).run(shared_trace)
         reports[policy] = rep
         result.add_row(policy, rep.throughput_rps, rep.ttft_s(50) * 1e3,
                        rep.ttft_s(95) * 1e3, rep.prefix_hit_rate,
@@ -348,13 +359,21 @@ def run(argv: Optional[Sequence[str]] = None,
                         choices=list(SERVING_MODES), metavar="MODE",
                         help=f"serving modes to compare {SERVING_MODES} "
                              "(routing/tp use the first)")
-    parser.add_argument("--trace", "--trace-kind", default=None,
-                        choices=TRACE_KINDS, dest="trace",
+    parser.add_argument("--trace-kind", "--trace", default=None,
+                        choices=TRACE_KINDS, dest="trace_kind",
+                        action=_TraceKindAction,
                         help="arrival process (shared_prefix/chat carry "
                              "token ids for prefix caching); default "
                              "poisson, or chat when prefix caching is "
                              "in play (--experiment routing / "
-                             "--prefix-caching)")
+                             "--prefix-caching); --trace is a "
+                             "deprecated alias")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="record a repro.obs run timeline and write "
+                             "Chrome/Perfetto trace_event JSON here "
+                             "(open at ui.perfetto.dev; summarize with "
+                             "python -m repro.obs.report; ignored by "
+                             "--experiment tp, which runs no simulation)")
     parser.add_argument("--rate", type=float, default=24.0,
                         help="offered arrival rate, requests/s")
     parser.add_argument("--requests", type=int, default=96,
@@ -395,7 +414,7 @@ def run(argv: Optional[Sequence[str]] = None,
     # needs an id-carrying trace to show anything: default to chat
     # unless the user picked a trace explicitly.
     prefix_in_play = args.experiment == "routing" or args.prefix_caching
-    trace_kind = args.trace or ("chat" if prefix_in_play else "poisson")
+    trace_kind = args.trace_kind or ("chat" if prefix_in_play else "poisson")
     # Prefix caching rides on paged blocks; honor the flag rather than
     # crashing on the reserve default.
     admission = "paged" if args.prefix_caching else args.admission
@@ -416,7 +435,8 @@ def run(argv: Optional[Sequence[str]] = None,
             n_requests=args.requests, prompt_mean=args.prompt_mean,
             output_mean=args.output_mean, trace_kind=trace_kind,
             seed=args.seed, engine=engine,
-            block_tokens=args.block_tokens, reports=reports)
+            block_tokens=args.block_tokens, reports=reports,
+            trace=args.trace_out is not None)
     else:
         table = fleet_sizing_comparison(
             spec=spec, config=config, modes=args.modes,
@@ -427,7 +447,8 @@ def run(argv: Optional[Sequence[str]] = None,
             policy=(args.policy[0] if args.policy else "least-kv"),
             max_replicas=args.max_replicas, engine=engine,
             admission=admission, block_tokens=args.block_tokens,
-            prefix_caching=args.prefix_caching, reports=reports)
+            prefix_caching=args.prefix_caching, reports=reports,
+            trace=args.trace_out is not None)
     if args.verbose:
         for value in reports.values():
             rep = value[1] if isinstance(value, tuple) else value
@@ -435,6 +456,21 @@ def run(argv: Optional[Sequence[str]] = None,
             print(rep.summary())
         print()
     print(table)
+    if args.trace_out:
+        if args.experiment == "tp":
+            print("--trace-out ignored: --experiment tp prices kernels "
+                  "analytically and runs no simulation")
+        else:
+            from repro.obs import write_perfetto
+            tracers = {}
+            for key, value in reports.items():
+                rep = value[1] if isinstance(value, tuple) else value
+                if getattr(rep, "tracer", None) is not None:
+                    tracers[str(key)] = rep.tracer
+            write_perfetto(args.trace_out, tracers, name="bench.cluster")
+            print(f"wrote Perfetto trace: {args.trace_out} "
+                  f"({len(tracers)} runs; open at ui.perfetto.dev or run "
+                  f"python -m repro.obs.report {args.trace_out})")
     return table
 
 

@@ -59,8 +59,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 SCHEMA_VERSION = 1
 
 #: The PR this checkout's trajectory file belongs to: this PR's run
-#: persists ``BENCH_7.json`` and diffs it against ``BENCH_6.json``.
-PR_NUMBER = 7
+#: persists ``BENCH_8.json`` and diffs it against ``BENCH_7.json``.
+PR_NUMBER = 8
 
 #: Trial kinds the runner understands.
 TRIAL_KINDS = ("serving", "fleet")
@@ -376,8 +376,15 @@ class TrialResult:
         return result
 
 
-def run_trial(spec: TrialSpec) -> TrialResult:
-    """Execute one grid cell and return its metric payload."""
+def run_trial(spec: TrialSpec,
+              trace_path: Optional[Path] = None) -> TrialResult:
+    """Execute one grid cell and return its metric payload.
+
+    ``trace_path`` turns on :mod:`repro.obs` timeline recording for
+    the trial and writes the Chrome/Perfetto ``trace_event`` JSON
+    there.  Tracing is observation-only — the metric payload is
+    bit-identical with or without it.
+    """
     start = time.perf_counter()
     if spec.kind == "serving":
         from repro.bench.serving import simulate_mode
@@ -390,13 +397,15 @@ def run_trial(spec: TrialSpec) -> TrialResult:
             token_budget=spec.token_budget, max_seqs=spec.max_seqs,
             seed=spec.trial_seed, trace_kind=spec.trace_kind,
             admission=spec.admission, block_tokens=spec.block_tokens,
-            prefix_caching=spec.prefix_caching)
+            prefix_caching=spec.prefix_caching,
+            trace=trace_path is not None)
         metrics = report.metrics()
     else:
         from repro.bench.cluster import make_replicas
         from repro.bench.serving import make_trace
         from repro.cluster.fleet import SLO, FleetSimulator
         from repro.gpu.spec import get_spec
+        from repro.serve.api import FleetConfig
 
         trace = make_trace(spec.trace_kind, spec.rate_rps, spec.n_requests,
                            spec.prompt_mean, spec.output_mean,
@@ -406,18 +415,26 @@ def run_trial(spec: TrialSpec) -> TrialResult:
             token_budget=spec.token_budget, max_seqs=spec.max_seqs,
             admission=spec.admission, block_tokens=spec.block_tokens,
             prefix_caching=spec.prefix_caching)
-        report = FleetSimulator(replicas, policy=spec.policy,
-                                name=spec.trial_id).run(trace)
+        report = FleetSimulator(
+            replicas, config=FleetConfig(
+                policy=spec.policy, name=spec.trial_id,
+                trace=trace_path is not None)).run(trace)
         slo = (SLO(ttft_s=spec.slo_ttft_s)
                if spec.slo_ttft_s is not None else None)
         metrics = report.metrics(slo)
+    if trace_path is not None and report.tracer is not None:
+        from repro.obs import write_perfetto
+        write_perfetto(trace_path, report.tracer, name=spec.trial_id)
     return TrialResult(spec=spec, metrics=metrics,
                        wall_time_s=time.perf_counter() - start)
 
 
-def _run_trial_payload(spec_dict: dict) -> dict:
+def _run_trial_payload(payload: Tuple[dict, Optional[str]]) -> dict:
     """Worker-process entry point (module-level so it pickles)."""
-    return run_trial(TrialSpec.from_dict(spec_dict)).to_dict()
+    spec_dict, trace_path = payload
+    return run_trial(TrialSpec.from_dict(spec_dict),
+                     trace_path=Path(trace_path) if trace_path else None
+                     ).to_dict()
 
 
 def _warm_sample_cache(specs: Sequence[TrialSpec]) -> None:
@@ -436,17 +453,28 @@ def _warm_sample_cache(specs: Sequence[TrialSpec]) -> None:
         mode_cost_kwargs(mode)
 
 
+def _trial_trace_path(trace_dir: Optional[Path],
+                      spec: TrialSpec) -> Optional[Path]:
+    """Per-trial Perfetto path under ``trace_dir`` (``/`` flattened)."""
+    if trace_dir is None:
+        return None
+    return trace_dir / f"{spec.trial_id.replace('/', '__')}.perfetto.json"
+
+
 def run_sweep(
     config: SweepConfig,
     workers: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    trace_dir: Optional[Path] = None,
 ) -> "Trajectory":
     """Run every trial of a sweep; returns the unsaved trajectory.
 
     ``workers > 1`` fans trials out over that many worker processes;
     each trial derives its trace from :attr:`TrialSpec.trial_seed`,
     and results are collected in grid order, so the persisted
-    trajectory is identical for any worker count.
+    trajectory is identical for any worker count.  ``trace_dir``
+    records one Perfetto timeline per trial under that directory
+    (observation-only: the trajectory metrics do not move).
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -455,13 +483,18 @@ def run_sweep(
     results: List[TrialResult] = []
     if workers == 1:
         for i, spec in enumerate(specs):
-            result = run_trial(spec)
+            result = run_trial(spec,
+                               trace_path=_trial_trace_path(trace_dir, spec))
             results.append(result)
             if progress:
                 progress(f"[{i + 1}/{len(specs)}] {result.trial_id}: "
                          f"{result.wall_time_s:.2f} s")
     else:
-        payloads = [spec.to_dict() for spec in specs]
+        payloads = []
+        for spec in specs:
+            path = _trial_trace_path(trace_dir, spec)
+            payloads.append((spec.to_dict(),
+                             str(path) if path is not None else None))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             # map() preserves submission order, which is grid order.
             for i, data in enumerate(pool.map(_run_trial_payload, payloads)):
@@ -878,6 +911,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "--out)")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for trial execution")
+    parser.add_argument("--trace-dir", type=Path, default=None,
+                        help="record one Perfetto timeline per trial "
+                             "into this directory (created if missing); "
+                             "observation-only, metrics do not move")
     parser.add_argument("--tolerance", type=float, default=0.05,
                         help="relative regression tolerance (default 5%%)")
     parser.add_argument("--check", action="store_true",
@@ -892,7 +929,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     print(f"sweep {config.name!r}: {len(config.trials())} trials, "
           f"{args.workers} worker(s)")
-    trajectory = run_sweep(config, workers=args.workers, progress=print)
+    if args.trace_dir is not None:
+        args.trace_dir.mkdir(parents=True, exist_ok=True)
+        print(f"traces     -> {args.trace_dir}/<trial_id>.perfetto.json")
+    trajectory = run_sweep(config, workers=args.workers, progress=print,
+                           trace_dir=args.trace_dir)
     trajectory.save(out)
     print(f"trajectory -> {out}")
 

@@ -29,6 +29,7 @@ Two mode families are supported:
 from __future__ import annotations
 
 import argparse
+import warnings
 from typing import List, Optional, Sequence
 
 from repro.bench.e2e import _VQ_KV_ALGO, _VQ_WEIGHT_ALGO, MODES
@@ -188,6 +189,7 @@ def simulate_mode(
     admission: str = "reserve",
     block_tokens: int = 16,
     prefix_caching: bool = False,
+    trace: bool = False,
 ) -> ServingReport:
     """Simulate one serving mode on an open-loop trace.
 
@@ -199,11 +201,13 @@ def simulate_mode(
     ``prefix_caching=True`` (paged only) shares KV blocks across
     common prompt prefixes; pair it with an id-carrying trace kind
     (``shared_prefix`` / ``chat``) or every lookup misses.
+    ``trace=True`` records a :mod:`repro.obs` timeline on the returned
+    report's ``tracer`` (metrics are bit-identical either way).
     """
     config = config or llama_7b()
     engine = engine or ComputeEngine(spec)
-    trace = make_trace(trace_kind, rate_rps, n_requests,
-                       prompt_mean, output_mean, seed=seed)
+    requests = make_trace(trace_kind, rate_rps, n_requests,
+                          prompt_mean, output_mean, seed=seed)
     budget = make_kv_budget(
         config, mode,
         capacity_bytes=None if kv_hbm_gb is None else kv_hbm_gb * 1e9,
@@ -217,9 +221,9 @@ def simulate_mode(
                                   admission=admission,
                                   block_tokens=block_tokens,
                                   prefix_caching=prefix_caching),
-        name=name)
+        name=name, trace=trace)
     cost_model = make_cost_model(engine, config, mode)
-    return sim_config.build(budget, cost_model).run(trace)
+    return sim_config.build(budget, cost_model).run(requests)
 
 
 def serving_comparison(
@@ -369,6 +373,24 @@ def prefix_comparison(
     return result
 
 
+class _TraceKindAction(argparse.Action):
+    """``--trace-kind`` plus its deprecated ``--trace`` spelling.
+
+    ``--trace`` used to select the *arrival process*; now that
+    ``--trace-out`` records a *run timeline*, keeping the bare name
+    canonical invites exactly that confusion, so it warns.  Shared
+    with :mod:`repro.bench.cluster`.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        if option_string == "--trace":
+            warnings.warn(
+                "--trace is a deprecated alias for --trace-kind (the "
+                "arrival process); --trace-out is what records a run "
+                "timeline", DeprecationWarning, stacklevel=2)
+        setattr(namespace, self.dest, values)
+
+
 def run(argv: Optional[Sequence[str]] = None,
         reports: Optional[dict] = None) -> ExperimentResult:
     """Run the CLI experiment and return the structured result.
@@ -391,11 +413,18 @@ def run(argv: Optional[Sequence[str]] = None,
                         default=["fp16", "kv-cq-4", "kv-cq-2"],
                         choices=list(SERVING_MODES), metavar="MODE",
                         help=f"serving modes to compare {SERVING_MODES}")
-    parser.add_argument("--trace", "--trace-kind", default=None,
-                        choices=TRACE_KINDS, dest="trace",
+    parser.add_argument("--trace-kind", "--trace", default=None,
+                        choices=TRACE_KINDS, dest="trace_kind",
+                        action=_TraceKindAction,
                         help="arrival process (shared_prefix/chat carry "
                              "token ids for prefix caching); default "
-                             "poisson, or chat under --prefix-caching")
+                             "poisson, or chat under --prefix-caching; "
+                             "--trace is a deprecated alias")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="record a repro.obs run timeline and write "
+                             "Chrome/Perfetto trace_event JSON here "
+                             "(open at ui.perfetto.dev; summarize with "
+                             "python -m repro.obs.report)")
     parser.add_argument("--rate", type=float, default=16.0,
                         help="offered arrival rate, requests/s")
     parser.add_argument("--requests", type=int, default=64,
@@ -432,8 +461,8 @@ def run(argv: Optional[Sequence[str]] = None,
     args = parser.parse_args(argv)
     # A prefix comparison on an id-less trace cannot hit: default to
     # the chat workload unless the user picked a trace explicitly.
-    trace_kind = args.trace or ("chat" if args.prefix_caching
-                                else "poisson")
+    trace_kind = args.trace_kind or ("chat" if args.prefix_caching
+                                     else "poisson")
 
     spec = get_spec(args.gpu)
     config = llama_7b()
@@ -444,6 +473,7 @@ def run(argv: Optional[Sequence[str]] = None,
         token_budget=args.token_budget, max_seqs=args.max_seqs,
         seed=args.seed,
         block_tokens=args.block_tokens,
+        trace=args.trace_out is not None,
     )
     stats = trace_stats(make_trace(trace_kind, args.rate, args.requests,
                                    args.prompt_mean, args.output_mean,
@@ -474,6 +504,14 @@ def run(argv: Optional[Sequence[str]] = None,
             print(rep.summary())
         print()
     print(table)
+    if args.trace_out:
+        from repro.obs import write_perfetto
+        tracers = {key: rep.tracer for key, rep in reports.items()
+                   if rep.tracer is not None}
+        write_perfetto(args.trace_out, tracers, name="bench.serving")
+        print(f"wrote Perfetto trace: {args.trace_out} "
+              f"({len(tracers)} runs; open at ui.perfetto.dev or run "
+              f"python -m repro.obs.report {args.trace_out})")
     return table
 
 

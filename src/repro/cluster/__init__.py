@@ -35,6 +35,7 @@ from repro.cluster.fleet import (
     LeastKVPressurePolicy,
     POLICIES,
     Replica,
+    ReplicaStats,
     RoundRobinPolicy,
     RouterPolicy,
     make_policy,
@@ -68,6 +69,7 @@ __all__ = [
     "PCIE5",
     "POLICIES",
     "Replica",
+    "ReplicaStats",
     "RoundRobinPolicy",
     "RouterPolicy",
     "SLO",

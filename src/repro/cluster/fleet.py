@@ -50,12 +50,15 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import EVT_EVICTED, EVT_REJECTED, NULL_TRACER, Tracer
 from repro.serve.api import FleetConfig
 from repro.serve.costs import StepCostModel
 from repro.serve.events import ARRIVAL, STEP, EventLoop, EventStats
 from repro.serve.requests import Request
 from repro.serve.scheduler import ContinuousBatchScheduler
-from repro.serve.simulator import RequestRecord, percentile
+from repro.serve.simulator import (RequestRecord, observe_request_metrics,
+                                   percentile)
 
 #: Sentinel distinguishing "kwarg not passed" from any real value.
 _UNSET = object()
@@ -112,6 +115,8 @@ class Replica:
         #: driver, which polls idle replicas too.  The regression test
         #: for the lockstep inefficiency pins the difference.
         self.n_wakeups = 0
+        #: Eviction count already traced, for delta instants.
+        self._last_evicted = 0
 
     @property
     def has_work(self) -> bool:
@@ -156,8 +161,20 @@ class Replica:
             raise RuntimeError(f"replica {self.replica_id} made no "
                                "progress with work pending")
         self.iterations += 1
-        self.now_s += self.cost_model.step_us(plan) / 1e6
+        step_us = self.cost_model.step_us(plan)
+        t0 = self.now_s
+        self.now_s += step_us / 1e6
         self.peak_kv = max(self.peak_kv, self.scheduler.kv_utilization)
+        tracer = self.scheduler.tracer
+        if tracer.enabled:
+            tracer.step(self.replica_id, t0, step_us, plan,
+                        self.scheduler.kv_occupancy)
+            evicted = getattr(getattr(self.scheduler, "allocator", None),
+                              "n_evicted_blocks", 0)
+            if evicted > self._last_evicted:
+                tracer.event(EVT_EVICTED, t0, self.replica_id, -1,
+                             evicted - self._last_evicted)
+                self._last_evicted = evicted
         self.finished.extend(self.scheduler.complete(plan, self.now_s))
 
     def advance_to(self, t_s: float) -> None:
@@ -299,6 +316,35 @@ def make_policy(policy: Union[str, RouterPolicy]) -> RouterPolicy:
 # ----------------------------------------------------------------------
 # Fleet report
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplicaStats:
+    """Per-replica accounting of one fleet run.
+
+    Replaces the PR-3 positional tuple ``(routed, iterations, peak_kv,
+    preemptions)``; iteration/indexing keep the old unpacking sites
+    working (``routed, iters, peak, *rest = stats``) while new code
+    reads attributes.
+    """
+
+    n_requests: int
+    n_iterations: int
+    peak_kv_utilization: float
+    n_preemptions: int = 0
+
+    def __iter__(self):
+        yield self.n_requests
+        yield self.n_iterations
+        yield self.peak_kv_utilization
+        yield self.n_preemptions
+
+    def __len__(self) -> int:
+        return 4
+
+    def __getitem__(self, idx):
+        return (self.n_requests, self.n_iterations,
+                self.peak_kv_utilization, self.n_preemptions)[idx]
+
+
 @dataclass
 class FleetReport:
     """Aggregate metrics of one simulated fleet run."""
@@ -310,9 +356,9 @@ class FleetReport:
     #: req_id -> replica index, for every routed request.
     assignments: Dict[int, int]
     makespan_s: float
-    #: Per-replica (requests routed, iterations run, peak KV
-    #: utilization, recompute preemptions).
-    replica_stats: List[tuple] = field(default_factory=list)
+    #: Per-replica accounting (:class:`ReplicaStats`); legacy raw
+    #: tuples are converted with a DeprecationWarning.
+    replica_stats: List[ReplicaStats] = field(default_factory=list)
     n_rejected: int = 0
     #: Whether any replica ran with prefix caching enabled.
     prefix_caching: bool = False
@@ -322,12 +368,36 @@ class FleetReport:
     prefix_hit_tokens: int = 0
     prefix_miss_tokens: int = 0
     n_evicted_blocks: int = 0
+    #: Event-loop statistics of the run (:class:`~repro.serve.events.
+    #: EventStats`), surfaced into :meth:`metrics`.
+    event_stats: Optional[EventStats] = None
+    #: The run's :class:`~repro.obs.metrics.MetricsRegistry` (flat dict
+    #: merged into :meth:`metrics`; Prometheus text available).
+    registry: Optional[object] = None
+    #: The run's :class:`~repro.obs.trace.Tracer` when the fleet ran
+    #: with ``FleetConfig(trace=True)``, else ``None``.
+    tracer: Optional[object] = None
+
+    def __post_init__(self):
+        converted, warned = [], False
+        for entry in self.replica_stats:
+            if isinstance(entry, ReplicaStats):
+                converted.append(entry)
+                continue
+            if not warned:
+                warnings.warn(
+                    "passing replica_stats as positional tuples is "
+                    "deprecated; pass ReplicaStats instances "
+                    "(repro.cluster.fleet)", DeprecationWarning,
+                    stacklevel=3)
+                warned = True
+            converted.append(ReplicaStats(*tuple(entry)[:4]))
+        self.replica_stats = converted
 
     @property
     def n_preempted(self) -> int:
         """Recompute preemptions across all replicas (paged admission)."""
-        return sum(stats[3] for stats in self.replica_stats
-                   if len(stats) > 3)
+        return sum(stats.n_preemptions for stats in self.replica_stats)
 
     @property
     def prefix_hit_rate(self) -> float:
@@ -427,6 +497,15 @@ class FleetReport:
         if slo is not None:
             out["goodput_rps"] = self.goodput_rps(slo)
             out["slo_attainment"] = self.slo_attainment(slo)
+        if self.event_stats is not None:
+            out["n_events"] = self.event_stats.n_events
+            out["n_arrivals"] = self.event_stats.n_arrivals
+            out["n_step_events"] = self.event_stats.n_step_events
+            out["n_idle_polls"] = self.event_stats.n_idle_polls
+        if self.registry is not None:
+            # Registry metrics never shadow the canonical keys above.
+            for key, value in self.registry.to_flat_dict().items():
+                out.setdefault(key, value)
         return out
 
     def summary(self) -> str:
@@ -447,12 +526,12 @@ class FleetReport:
                 f"  prefix     : {self.prefix_hit_rate:.0%} admissions "
                 f"hit, {self.cached_token_fraction:.0%} of prompt tokens "
                 f"cached, {self.n_evicted_blocks} blocks evicted")
-        for rid, (routed, iters, peak, *rest) in enumerate(
-                self.replica_stats):
-            line = (f"  replica {rid}  : {routed:4d} requests, "
-                    f"{iters:6d} iterations, peak KV {peak:.0%}")
-            if rest and rest[0]:
-                line += f", {rest[0]} preemptions"
+        for rid, stats in enumerate(self.replica_stats):
+            line = (f"  replica {rid}  : {stats.n_requests:4d} requests, "
+                    f"{stats.n_iterations:6d} iterations, "
+                    f"peak KV {stats.peak_kv_utilization:.0%}")
+            if stats.n_preemptions:
+                line += f", {stats.n_preemptions} preemptions"
             lines.append(line)
         if self.n_rejected:
             lines.append(f"  rejected   : {self.n_rejected} requests "
@@ -515,6 +594,12 @@ class FleetSimulator:
         replicas = self.replicas
         assignments: Dict[int, int] = {}
         rejected: List[Request] = []
+        tracer = Tracer(name=self.name) if self.config.trace else NULL_TRACER
+        self.tracer = tracer
+        if tracer.enabled:
+            for rep in replicas:
+                rep.scheduler.tracer = tracer
+                rep.scheduler.trace_replica = rep.replica_id
 
         loop = EventLoop()
         for req in pending:
@@ -549,6 +634,10 @@ class FleetSimulator:
                           if rep.scheduler.fits(req)]
             if not candidates:
                 rejected.append(req)
+                if tracer.enabled:
+                    # No replica could ever hold it; pin to track 0.
+                    tracer.event(EVT_REJECTED, req.arrival_s, 0,
+                                 req.req_id)
                 continue
             idx = self.policy.choose(req, replicas, candidates)
             if idx not in candidates:
@@ -575,6 +664,17 @@ class FleetSimulator:
             for rep in replicas for s in rep.finished
         ]
         records.sort(key=lambda r: r.req_id)
+        if tracer.enabled:
+            for rep in replicas:
+                tracer.record_sequences(rep.replica_id, rep.finished)
+        registry = MetricsRegistry()
+        for rep in replicas:
+            emit = getattr(rep.scheduler, "emit_metrics", None)
+            if emit is not None:
+                emit(registry, replica=str(rep.replica_id))
+        loop.stats.emit_metrics(registry)
+        observe_request_metrics(registry, records,
+                                n_rejected=len(rejected))
         prefix = [
             stats for rep in replicas
             if getattr(rep.scheduler, "prefix_caching", False)
@@ -587,8 +687,9 @@ class FleetSimulator:
             records=records,
             assignments=assignments,
             makespan_s=max(rep.now_s for rep in replicas),
-            replica_stats=[(rep.n_submitted, rep.iterations, rep.peak_kv,
-                            rep.scheduler.n_preemptions)
+            replica_stats=[ReplicaStats(rep.n_submitted, rep.iterations,
+                                        rep.peak_kv,
+                                        rep.scheduler.n_preemptions)
                            for rep in replicas],
             n_rejected=len(rejected),
             prefix_caching=bool(prefix),
@@ -597,6 +698,9 @@ class FleetSimulator:
             prefix_hit_tokens=sum(p.hit_tokens for p in prefix),
             prefix_miss_tokens=sum(p.miss_tokens for p in prefix),
             n_evicted_blocks=sum(p.n_evicted_blocks for p in prefix),
+            event_stats=loop.stats,
+            registry=registry,
+            tracer=tracer if tracer.enabled else None,
         )
 
 
@@ -606,6 +710,7 @@ def size_fleet(
     slo: SLO,
     policy: Union[str, RouterPolicy] = "jsq",
     max_replicas: int = 8,
+    record_trace: bool = False,
 ) -> tuple:
     """Smallest fleet meeting an SLO at the trace's offered load.
 
@@ -614,6 +719,8 @@ def size_fleet(
     compliant size, or ``(None, report)`` with the largest fleet's
     report if even ``max_replicas`` misses the SLO.  String policies
     are re-instantiated per size so stateful routers start clean.
+    ``record_trace=True`` records a :mod:`repro.obs` timeline per tried
+    size (each report carries its own tracer).
     """
     if max_replicas < 1:
         raise ValueError("max_replicas must be >= 1")
@@ -623,7 +730,7 @@ def size_fleet(
             make_replicas(n),
             config=FleetConfig(policy=make_policy(policy)
                                if isinstance(policy, str) else policy,
-                               name=f"fleet-{n}"))
+                               name=f"fleet-{n}", trace=record_trace))
         report = sim.run(trace)
         if report.meets(slo):
             return n, report

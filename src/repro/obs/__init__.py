@@ -1,0 +1,48 @@
+"""repro.obs — cross-layer observability for the serving stack.
+
+Three pieces (see each module's docs):
+
+- :mod:`repro.obs.trace` — :class:`Tracer` lifecycle/step recording
+  with a near-zero-cost disabled path (:data:`NULL_TRACER`);
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters,
+  gauges and log-bucketed histograms with Prometheus-text and
+  flat-dict export;
+- :mod:`repro.obs.perfetto` / :mod:`repro.obs.report` — Chrome/Perfetto
+  ``trace_event`` JSON export and the ``python -m repro.obs.report``
+  markdown breakdown CLI.
+
+Enable tracing with ``SimConfig(trace=True)`` / ``FleetConfig(trace=True)``
+or the bench ``--trace-out`` / orchestrator ``--trace-dir`` flags.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .perfetto import to_perfetto, write_perfetto
+from .trace import (
+    EVENT_NAMES,
+    EVT_ADMITTED,
+    EVT_EVICTED,
+    EVT_PREEMPTED,
+    EVT_PREFILL_CHUNK,
+    EVT_REJECTED,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "EVENT_NAMES",
+    "EVT_ADMITTED",
+    "EVT_EVICTED",
+    "EVT_PREEMPTED",
+    "EVT_PREFILL_CHUNK",
+    "EVT_REJECTED",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "to_perfetto",
+    "write_perfetto",
+]

@@ -1,0 +1,161 @@
+"""Chrome/Perfetto ``trace_event`` JSON export for :class:`Tracer` buffers.
+
+The output follows the JSON Object Format of the Trace Event spec (the
+one ``ui.perfetto.dev`` and ``chrome://tracing`` both load): a
+top-level object with a ``traceEvents`` array of phase-tagged events.
+We emit three phases:
+
+- ``"M"`` metadata naming processes and threads,
+- ``"X"`` complete events (a span with ``ts`` + ``dur``, microseconds),
+- ``"i"`` instant events for point occurrences.
+
+Track layout: each replica is a *process* (``pid`` = replica id, or an
+offset per simulator when merging several tracers), ``tid 0`` is the
+engine track carrying one ``"X"`` span per executed iteration, and each
+request gets its own thread (``tid = req_id + 1``) carrying the
+``queued`` / ``prefill`` / ``decode`` lifecycle spans plus instant
+markers for admissions, preemptions and rejections.  Evictions happen
+to the replica's KV pool rather than one request, so they land on the
+engine track.
+
+Simulated time is seconds; the trace format wants microseconds, so
+every timestamp is ``t_s * 1e6``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Union
+
+from .trace import (
+    EVENT_NAMES,
+    EVT_ADMITTED,
+    EVT_EVICTED,
+    EVT_PREEMPTED,
+    EVT_PREFILL_CHUNK,
+    EVT_REJECTED,
+    Tracer,
+)
+
+__all__ = ["to_perfetto", "write_perfetto"]
+
+#: ``pid`` stride between merged tracers, so two simulators' replica 0
+#: tracks never collide (no fleet is remotely this wide).
+_PID_STRIDE = 10_000
+
+#: args-dict key for the kind-specific ``value`` column of an event.
+_VALUE_KEYS = {
+    EVT_ADMITTED: "readmission",
+    EVT_PREEMPTED: "recompute_tokens",
+    EVT_REJECTED: "value",
+    EVT_EVICTED: "evicted_blocks",
+    EVT_PREFILL_CHUNK: "chunk_tokens",
+}
+
+
+def _emit_tracer(events: List[dict], tracer: Tracer, label: str,
+                 pid_base: int) -> None:
+    seen_pids: Dict[int, None] = {}
+    seen_tids = set()
+
+    def process(replica: int) -> int:
+        pid = pid_base + replica
+        if replica not in seen_pids:
+            seen_pids[replica] = None
+            name = f"{label} · replica {replica}" if label else \
+                f"replica {replica}"
+            events.append({"ph": "M", "name": "process_name", "pid": pid,
+                           "tid": 0, "args": {"name": name}})
+            events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                           "tid": 0, "args": {"name": "engine"}})
+        return pid
+
+    def request_track(replica: int, req_id: int) -> int:
+        pid = process(replica)
+        tid = req_id + 1
+        if (pid, tid) not in seen_tids:
+            seen_tids.add((pid, tid))
+            events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                           "tid": tid, "args": {"name": f"req {req_id}"}})
+        return tid
+
+    for replica, t_s, dur_us, n_prefill, prefill_tokens, decode_batch, \
+            kv_occupancy in tracer.steps:
+        events.append({
+            "ph": "X", "name": "step", "cat": "engine",
+            "pid": process(replica), "tid": 0,
+            "ts": t_s * 1e6, "dur": dur_us,
+            "args": {"prefill_seqs": n_prefill,
+                     "prefill_tokens": prefill_tokens,
+                     "decode_batch": decode_batch,
+                     "batch": n_prefill + decode_batch,
+                     "kv_occupancy": kv_occupancy},
+        })
+
+    for req_id, replica, arrival_s, admitted_s, first_token_s, \
+            finished_s, prompt_tokens, output_tokens, cached_tokens, \
+            preemptions in tracer.requests:
+        pid = process(replica)
+        tid = request_track(replica, req_id)
+        spans = [
+            ("queued", arrival_s, admitted_s, {"prompt_tokens": prompt_tokens}),
+            ("prefill", admitted_s, first_token_s,
+             {"prompt_tokens": prompt_tokens,
+              "cached_tokens": cached_tokens}),
+            ("decode", first_token_s, finished_s,
+             {"output_tokens": output_tokens, "preemptions": preemptions}),
+        ]
+        for name, t0, t1, args in spans:
+            events.append({
+                "ph": "X", "name": name, "cat": "request",
+                "pid": pid, "tid": tid,
+                "ts": t0 * 1e6, "dur": max(t1 - t0, 0.0) * 1e6,
+                "args": args,
+            })
+
+    for kind, t_s, replica, req_id, value in tracer.events:
+        if kind == EVT_PREFILL_CHUNK:
+            # One per prefill chunk — high volume and already summarised
+            # by the engine-track step args; skip to keep traces small.
+            continue
+        pid = process(replica)
+        tid = 0 if req_id < 0 else request_track(replica, req_id)
+        events.append({
+            "ph": "i", "name": EVENT_NAMES[kind], "cat": "lifecycle",
+            "pid": pid, "tid": tid, "ts": t_s * 1e6, "s": "t",
+            "args": {_VALUE_KEYS[kind]: value},
+        })
+
+
+def to_perfetto(tracers: Union[Tracer, Mapping[str, Tracer]],
+                name: str = "repro") -> dict:
+    """Render tracer buffers as a ``trace_event`` JSON object.
+
+    ``tracers`` is one :class:`Tracer` or a mapping of label → tracer
+    (e.g. one per bench mode); merged tracers get disjoint ``pid``
+    ranges so their replica tracks sit side by side in the UI.
+    """
+    if isinstance(tracers, Tracer):
+        tracers = {tracers.name: tracers}
+    events: List[dict] = []
+    for idx, (label, tracer) in enumerate(tracers.items()):
+        _emit_tracer(events, tracer, label if len(tracers) > 1 else "",
+                     idx * _PID_STRIDE)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "name": name,
+            "format": "repro.obs perfetto export",
+            "version": 1,
+        },
+    }
+
+
+def write_perfetto(path, tracers: Union[Tracer, Mapping[str, Tracer]],
+                   name: str = "repro") -> dict:
+    """Write :func:`to_perfetto` output as JSON; returns the object."""
+    doc = to_perfetto(tracers, name=name)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return doc

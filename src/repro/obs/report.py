@@ -1,0 +1,260 @@
+"""``python -m repro.obs.report`` — markdown breakdown of a Perfetto trace.
+
+Consumes the ``trace_event`` JSON written by :mod:`repro.obs.perfetto`
+(or by the ``--trace-out`` / ``--trace-dir`` flags that wrap it) and
+renders the causal story behind a run's aggregate metrics:
+
+- a **time breakdown**: total/mean queued vs prefill vs decode seconds
+  across requests, with each phase's share of summed request lifetime;
+- **latency percentiles**: TTFT (queued + prefill) and TPOT (decode
+  time per generated token) — these reconcile with
+  ``ServingReport.metrics()`` because both derive from the same
+  simulated timestamps (percentiles replicate ``np.percentile``'s
+  linear interpolation, see :func:`percentile`);
+- **preemption causes**: per-replica preemption counts and recompute
+  token totals (the only cause today is KV block exhaustion under
+  paged admission);
+- **per-replica load**: requests served, steps executed, busy seconds
+  and the max/mean imbalance ratio across replicas.
+
+The module is import-safe (pure stdlib) and the CLI writes markdown to
+stdout or ``--out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["build_report", "load_trace", "percentile", "render_markdown"]
+
+_PHASES = ("queued", "prefill", "decode")
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """``np.percentile(values, q)`` with linear interpolation, in stdlib.
+
+    Kept numerically identical to numpy's default method so the report
+    reconciles with ``ServingReport`` aggregates bit-for-bit on the
+    same inputs.
+    """
+    if not values:
+        return math.nan
+    data = sorted(values)
+    if len(data) == 1:
+        return float(data[0])
+    rank = (len(data) - 1) * (q / 100.0)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(data[int(rank)])
+    return data[lo] * (hi - rank) + data[hi] * (rank - lo)
+
+
+def load_trace(path) -> dict:
+    """Load and structurally validate a ``trace_event`` JSON file."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError(
+            f"{path}: not a trace_event JSON object (missing traceEvents)")
+    if not isinstance(doc["traceEvents"], list):
+        raise ValueError(f"{path}: traceEvents is not a list")
+    return doc
+
+
+def build_report(doc: dict) -> dict:
+    """Digest a trace document into plain aggregate structures."""
+    # Per-request phase spans, keyed by (pid, tid).
+    spans: Dict[tuple, Dict[str, float]] = defaultdict(dict)
+    req_args: Dict[tuple, Dict[str, float]] = defaultdict(dict)
+    # Per-replica (pid) engine accounting.
+    steps: Dict[int, int] = defaultdict(int)
+    busy_us: Dict[int, float] = defaultdict(float)
+    preemptions: Dict[int, int] = defaultdict(int)
+    recompute_tokens: Dict[int, int] = defaultdict(int)
+    evicted_blocks: Dict[int, int] = defaultdict(int)
+    rejected = 0
+    pid_names: Dict[int, str] = {}
+    t_min, t_max = math.inf, -math.inf
+
+    for ev in doc["traceEvents"]:
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                pid_names[ev["pid"]] = ev["args"]["name"]
+            continue
+        ts = ev.get("ts")
+        if ts is not None:
+            t_min = min(t_min, ts)
+            t_max = max(t_max, ts + ev.get("dur", 0.0))
+        if ph == "X":
+            if ev.get("cat") == "engine":
+                steps[ev["pid"]] += 1
+                busy_us[ev["pid"]] += ev["dur"]
+            elif ev.get("cat") == "request":
+                key = (ev["pid"], ev["tid"])
+                spans[key][ev["name"]] = ev["dur"] / 1e6
+                req_args[key].update(ev.get("args", {}))
+        elif ph == "i":
+            name = ev.get("name")
+            if name == "preempted":
+                preemptions[ev["pid"]] += 1
+                recompute_tokens[ev["pid"]] += \
+                    ev.get("args", {}).get("recompute_tokens", 0)
+            elif name == "evicted":
+                evicted_blocks[ev["pid"]] += \
+                    ev.get("args", {}).get("evicted_blocks", 0)
+            elif name == "rejected":
+                rejected += 1
+
+    # Phase aggregates across completed requests (all three spans seen).
+    complete = {k: v for k, v in spans.items()
+                if all(p in v for p in _PHASES)}
+    phase_totals = {p: sum(v[p] for v in complete.values())
+                    for p in _PHASES}
+    ttft_ms = [(v["queued"] + v["prefill"]) * 1e3
+               for v in complete.values()]
+    tpot_ms: List[float] = []
+    requests_per_pid: Dict[int, int] = defaultdict(int)
+    for key, v in complete.items():
+        requests_per_pid[key[0]] += 1
+        out_tokens = req_args[key].get("output_tokens", 0)
+        if out_tokens > 1:
+            tpot_ms.append(v["decode"] * 1e3 / (out_tokens - 1))
+
+    pids = sorted(set(steps) | set(requests_per_pid) | set(preemptions))
+    replicas = []
+    busy_values = []
+    span_s = (t_max - t_min) / 1e6 if t_max > t_min else 0.0
+    for pid in pids:
+        busy_s = busy_us[pid] / 1e6
+        busy_values.append(busy_s)
+        replicas.append({
+            "pid": pid,
+            "name": pid_names.get(pid, f"pid {pid}"),
+            "requests": requests_per_pid[pid],
+            "steps": steps[pid],
+            "busy_s": busy_s,
+            "utilization": busy_s / span_s if span_s > 0 else 0.0,
+            "preemptions": preemptions[pid],
+            "recompute_tokens": recompute_tokens[pid],
+            "evicted_blocks": evicted_blocks[pid],
+        })
+    mean_busy = sum(busy_values) / len(busy_values) if busy_values else 0.0
+    imbalance = (max(busy_values) / mean_busy
+                 if busy_values and mean_busy > 0 else 1.0)
+
+    return {
+        "name": doc.get("otherData", {}).get("name", "trace"),
+        "n_requests": len(complete),
+        "n_rejected": rejected,
+        "n_preempted": sum(preemptions.values()),
+        "span_s": span_s,
+        "phase_totals_s": phase_totals,
+        "ttft_ms": ttft_ms,
+        "tpot_ms": tpot_ms,
+        "replicas": replicas,
+        "imbalance": imbalance,
+    }
+
+
+def _fmt(value: float, digits: int = 3) -> str:
+    if value != value:  # NaN
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def render_markdown(report: dict) -> str:
+    """Render :func:`build_report` output as a markdown document."""
+    lines = [f"# Trace report: {report['name']}", ""]
+    lines.append(f"- requests completed: **{report['n_requests']}**"
+                 f" · rejected: {report['n_rejected']}"
+                 f" · preempted: {report['n_preempted']}")
+    lines.append(f"- traced span: {_fmt(report['span_s'])} s"
+                 f" · replicas: {len(report['replicas'])}"
+                 f" · load imbalance (max/mean busy):"
+                 f" {_fmt(report['imbalance'], 2)}x")
+    lines.append("")
+
+    lines.append("## Where request time goes")
+    lines.append("")
+    lines.append("| phase | total s | mean ms/req | share |")
+    lines.append("|---|---|---|---|")
+    total = sum(report["phase_totals_s"].values()) or math.nan
+    n = report["n_requests"] or 1
+    for phase in _PHASES:
+        t = report["phase_totals_s"].get(phase, 0.0)
+        lines.append(f"| {phase} | {_fmt(t)} | {_fmt(t * 1e3 / n)} "
+                     f"| {_fmt(100.0 * t / total, 1)}% |")
+    lines.append("")
+
+    lines.append("## Latency percentiles")
+    lines.append("")
+    lines.append("| metric | p50 | p95 | p99 | mean |")
+    lines.append("|---|---|---|---|---|")
+    for label, values in (("TTFT ms", report["ttft_ms"]),
+                          ("TPOT ms", report["tpot_ms"])):
+        mean = sum(values) / len(values) if values else math.nan
+        lines.append(
+            f"| {label} | {_fmt(percentile(values, 50))} "
+            f"| {_fmt(percentile(values, 95))} "
+            f"| {_fmt(percentile(values, 99))} | {_fmt(mean)} |")
+    lines.append("")
+
+    if report["n_preempted"]:
+        lines.append("## Preemptions")
+        lines.append("")
+        lines.append("All preemptions are recompute preemptions caused by "
+                     "KV block exhaustion under paged admission.")
+        lines.append("")
+        lines.append("| replica | preemptions | recompute tokens "
+                     "| evicted blocks |")
+        lines.append("|---|---|---|---|")
+        for rep in report["replicas"]:
+            if rep["preemptions"] or rep["evicted_blocks"]:
+                lines.append(f"| {rep['name']} | {rep['preemptions']} "
+                             f"| {rep['recompute_tokens']} "
+                             f"| {rep['evicted_blocks']} |")
+        lines.append("")
+
+    lines.append("## Per-replica load")
+    lines.append("")
+    lines.append("| replica | requests | steps | busy s | utilization |")
+    lines.append("|---|---|---|---|---|")
+    for rep in report["replicas"]:
+        lines.append(f"| {rep['name']} | {rep['requests']} "
+                     f"| {rep['steps']} | {_fmt(rep['busy_s'])} "
+                     f"| {_fmt(100.0 * rep['utilization'], 1)}% |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render a markdown breakdown of a repro.obs "
+                    "Perfetto trace.")
+    parser.add_argument("trace", help="trace_event JSON file "
+                                      "(from --trace-out / --trace-dir)")
+    parser.add_argument("--out", default=None,
+                        help="write markdown here instead of stdout")
+    args = parser.parse_args(argv)
+
+    doc = load_trace(args.trace)
+    markdown = render_markdown(build_report(doc))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(markdown)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(markdown)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -99,6 +99,10 @@ class SimConfig:
     name: str = "serving"
     #: Iteration cap before the run aborts (diverging offered load).
     max_iterations: int = 1_000_000
+    #: Record per-request lifecycle and per-step timelines
+    #: (:mod:`repro.obs`).  Off by default: the disabled path is
+    #: bit-identical and near-free.
+    trace: bool = False
 
     def build(self, budget, cost_model) -> "ServingSimulator":
         """A fresh simulator: scheduler over ``budget``, this config."""
@@ -120,6 +124,9 @@ class FleetConfig:
     name: str = "fleet"
     #: Per-replica iteration cap before the run aborts.
     max_iterations: int = 1_000_000
+    #: Record per-request lifecycle and per-step timelines across all
+    #: replicas (:mod:`repro.obs`); disabled path is bit-identical.
+    trace: bool = False
 
     def with_policy(self, policy) -> "FleetConfig":
         """This config with a different routing policy (stateful

@@ -68,6 +68,28 @@ class EventStats:
     n_transfers: int = 0
     n_idle_polls: int = 0
 
+    def emit_metrics(self, registry, **labels) -> None:
+        """Emit these counters into a
+        :class:`~repro.obs.metrics.MetricsRegistry` (``n_idle_polls``
+        stays zero by construction — exporting it makes the invariant
+        monitorable, not just testable)."""
+        registry.counter(
+            "events_total", "Events popped from the global heap",
+            **labels).inc(self.n_events)
+        registry.counter(
+            "events_arrivals_total", "ARRIVAL events popped",
+            **labels).inc(self.n_arrivals)
+        registry.counter(
+            "events_steps_total", "STEP wakeups popped",
+            **labels).inc(self.n_step_events)
+        registry.counter(
+            "events_transfers_total", "TRANSFER events popped",
+            **labels).inc(self.n_transfers)
+        registry.counter(
+            "events_idle_polls_total",
+            "Wakeups that found no runnable work",
+            **labels).inc(self.n_idle_polls)
+
 
 class EventLoop:
     """A ``heapq``-based future event list over simulated seconds."""

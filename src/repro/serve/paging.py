@@ -185,3 +185,22 @@ class PagedKVAllocator:
             n_owners=len(self._held),
             used_tokens=sum(self._used_tokens.values()),
         )
+
+    def emit_metrics(self, registry, **labels) -> None:
+        """Emit pool-level gauges into a
+        :class:`~repro.obs.metrics.MetricsRegistry` (end-of-run
+        snapshot; subclasses add their own counters on top)."""
+        snap = self.stats()
+        registry.gauge(
+            "kv_blocks_total", "KV blocks in the paged pool",
+            **labels).set(snap.total_blocks)
+        registry.gauge(
+            "kv_blocks_peak_used", "Peak KV blocks allocated at once",
+            **labels).set(snap.peak_used_blocks)
+        registry.gauge(
+            "kv_block_tokens", "Token slots per KV block",
+            **labels).set(snap.block_tokens)
+        registry.gauge(
+            "kv_fragmentation",
+            "Internal fragmentation of allocated blocks at run end",
+            **labels).set(snap.fragmentation)

@@ -494,6 +494,43 @@ class PrefixCachingAllocator(PagedKVAllocator):
             referenced_blocks=self.cache.n_referenced,
         )
 
+    def emit_metrics(self, registry, **labels) -> None:
+        """Pool gauges (super) plus radix-tree hit/miss counters."""
+        super().emit_metrics(registry, **labels)
+        registry.counter(
+            "prefix_lookups_total", "Prefix-cache admission lookups",
+            **labels).inc(self.n_lookups)
+        registry.counter(
+            "prefix_lookup_hits_total",
+            "Lookups matching at least one cached block",
+            **labels).inc(self.n_lookup_hits)
+        registry.counter(
+            "prefix_hit_tokens_total",
+            "Prompt tokens served from the prefix cache",
+            **labels).inc(self.hit_tokens)
+        registry.counter(
+            "prefix_miss_tokens_total",
+            "Looked-up prompt tokens that had to be computed",
+            **labels).inc(self.miss_tokens)
+        registry.counter(
+            "prefix_evicted_blocks_total",
+            "Cached blocks reclaimed by LRU eviction",
+            **labels).inc(self.n_evicted_blocks)
+        registry.counter(
+            "prefix_cow_copies_total", "Copy-on-write block copies",
+            **labels).inc(self.n_cow_copies)
+        registry.counter(
+            "prefix_committed_blocks_total",
+            "Full blocks committed into the radix tree",
+            **labels).inc(self.n_committed_blocks)
+        registry.gauge(
+            "prefix_cached_blocks", "Tree blocks resident at run end",
+            **labels).set(self.cache.n_blocks)
+        registry.gauge(
+            "prefix_referenced_blocks",
+            "Tree blocks referenced by live sequences at run end",
+            **labels).set(self.cache.n_referenced)
+
     def check_conservation(self) -> None:
         """Assert the pool partition: private + tree + free == total.
 

@@ -53,6 +53,7 @@ import numpy as np
 from repro.llm.config import LlamaConfig
 from repro.vq.config import VQConfig
 
+from repro.obs.trace import EVT_ADMITTED, EVT_PREEMPTED, NULL_TRACER
 from repro.serve.api import SchedulerConfig
 from repro.serve.paging import PagedKVAllocator
 from repro.serve.prefix import PrefixCachingAllocator, PrefixStats
@@ -430,6 +431,17 @@ class ContinuousBatchScheduler:
         self.peak_reserved_tokens = 0
         self.peak_kv_occupancy = 0.0
         self.n_preemptions = 0
+        #: Observability hooks (:mod:`repro.obs`): the default
+        #: :data:`~repro.obs.trace.NULL_TRACER` makes every
+        #: ``if tracer.enabled:`` recording guard near-free.  The
+        #: simulator that owns this scheduler swaps in a live tracer
+        #: (and its replica id) when tracing is on.
+        self.tracer = NULL_TRACER
+        self.trace_replica = 0
+        #: Simulated time of the in-flight :meth:`schedule` call —
+        #: preemption fires deep inside plan building where ``now_s``
+        #: is not threaded, so it is stashed here (traced runs only).
+        self._trace_now_s = 0.0
 
     # -- queue management ----------------------------------------------
     def fits(self, request: Request) -> bool:
@@ -494,6 +506,31 @@ class ContinuousBatchScheduler:
         if not self.prefix_caching:
             return None
         return self.allocator.prefix_stats()
+
+    def emit_metrics(self, registry, **labels) -> None:
+        """Emit scheduler counters and high-water marks into a
+        :class:`~repro.obs.metrics.MetricsRegistry` (end-of-run only,
+        so the same run yields the same registry with tracing on or
+        off).  Delegates to the allocator for pool-level metrics."""
+        registry.counter(
+            "sched_admissions_total", "First-time sequence admissions",
+            **labels).inc(self._admission_counter)
+        registry.counter(
+            "sched_preemptions_total", "Recompute preemptions fired",
+            **labels).inc(self.n_preemptions)
+        registry.gauge(
+            "sched_peak_seqs", "Peak concurrently running sequences",
+            **labels).set(self.peak_seqs)
+        registry.gauge(
+            "sched_peak_reserved_tokens",
+            "Peak worst-case KV token reservation (reserve admission)",
+            **labels).set(self.peak_reserved_tokens)
+        registry.gauge(
+            "kv_peak_occupancy",
+            "Peak fraction of the KV budget resident in HBM",
+            **labels).set(self.peak_kv_occupancy)
+        if self.allocator is not None:
+            self.allocator.emit_metrics(registry, **labels)
 
     @property
     def kv_pressure(self) -> float:
@@ -595,6 +632,11 @@ class ContinuousBatchScheduler:
                 break
             if self.preempted:
                 seq = self.preempted.popleft()
+                if self.tracer.enabled:
+                    # Re-admission after preemption (value=1 marks it).
+                    self.tracer.event(EVT_ADMITTED, now_s,
+                                      self.trace_replica,
+                                      seq.request.req_id, 1)
             else:
                 seq = self._new_sequence(self.waiting.popleft(), now_s)
             if known is not None:
@@ -637,6 +679,9 @@ class ContinuousBatchScheduler:
                       now_s: float) -> SequenceState:
         """First admission of a request (stamps its FCFS rank)."""
         self._admission_counter += 1
+        if self.tracer.enabled:
+            self.tracer.event(EVT_ADMITTED, now_s, self.trace_replica,
+                              request.req_id)
         return SequenceState(request=request, admitted_s=now_s,
                              admission_no=self._admission_counter)
 
@@ -666,6 +711,11 @@ class ContinuousBatchScheduler:
             pos += 1
         self.preempted.insert(pos, victim)
         self.n_preemptions += 1
+        if self.tracer.enabled:
+            # value = tokens that will be recomputed at re-admission.
+            self.tracer.event(EVT_PREEMPTED, self._trace_now_s,
+                              self.trace_replica, victim.request.req_id,
+                              victim.restart_tokens)
 
     def _pick_victim(self, plan: BatchPlan) -> Optional[SequenceState]:
         """Youngest-admitted running sequence not already granted work
@@ -740,6 +790,8 @@ class ContinuousBatchScheduler:
         progress within a bounded number of iterations instead of the
         head of ``running`` draining first while the tail starves.
         """
+        if self.tracer.enabled:
+            self._trace_now_s = now_s
         self._admit(now_s)
         plan = BatchPlan()
         budget = self.token_budget

@@ -32,6 +32,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import EVT_EVICTED, EVT_REJECTED, NULL_TRACER, Tracer
 from repro.serve.api import SimConfig
 from repro.serve.costs import StepCostModel
 from repro.serve.events import ARRIVAL, EventLoop
@@ -40,6 +42,38 @@ from repro.serve.scheduler import ContinuousBatchScheduler, SequenceState
 
 #: Sentinel distinguishing "kwarg not passed" from any real value.
 _UNSET = object()
+
+
+def observe_request_metrics(registry: MetricsRegistry, records,
+                            n_rejected: int = 0) -> None:
+    """Emit request-outcome counters and latency histograms.
+
+    Shared by the serving and fleet report builders; runs once at end
+    of run over the completed :class:`RequestRecord` list (never in
+    the hot loop), so registry contents are identical with tracing on
+    or off.
+    """
+    registry.counter(
+        "requests_completed_total",
+        "Requests that finished decoding").inc(len(records))
+    registry.counter(
+        "requests_rejected_total",
+        "Requests rejected at arrival (KV footprint over budget)",
+    ).inc(n_rejected)
+    ttft = registry.histogram(
+        "ttft_ms", "Time to first token (ms)",
+        start=1.0, factor=2.0, n_buckets=24)
+    tpot = registry.histogram(
+        "tpot_ms", "Time per output token after the first (ms)",
+        start=0.25, factor=2.0, n_buckets=20)
+    latency = registry.histogram(
+        "latency_s", "End-to-end request latency (s)",
+        start=0.001, factor=2.0, n_buckets=24)
+    for r in records:
+        ttft.observe(r.ttft_s * 1e3)
+        if r.output_tokens > 1:
+            tpot.observe(r.tpot_s * 1e3)
+        latency.observe(r.latency_s)
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -119,6 +153,16 @@ class ServingReport:
     #: inside it (e.g. a fully cached prompt recomputing its last
     #: block for logits).
     n_cow_copies: int = 0
+    #: Event-loop statistics of the run (:class:`~repro.serve.events.
+    #: EventStats`), surfaced into :meth:`metrics`.
+    event_stats: Optional[object] = None
+    #: The run's :class:`~repro.obs.metrics.MetricsRegistry`; its flat
+    #: dict is merged into :meth:`metrics` and its Prometheus text is
+    #: available via ``registry.to_prometheus()``.
+    registry: Optional[object] = None
+    #: The run's :class:`~repro.obs.trace.Tracer` when the simulation
+    #: ran with ``SimConfig(trace=True)``, else ``None``.
+    tracer: Optional[object] = None
 
     # -- throughput ----------------------------------------------------
     @property
@@ -167,7 +211,7 @@ class ServingReport:
         Python floats losslessly, which is what lets golden tests pin
         persisted metrics bit-identical.
         """
-        return {
+        out = {
             "n_requests": self.n_requests,
             "n_rejected": self.n_rejected,
             "makespan_s": self.makespan_s,
@@ -188,6 +232,16 @@ class ServingReport:
             "n_evicted_blocks": self.n_evicted_blocks,
             "n_cow_copies": self.n_cow_copies,
         }
+        if self.event_stats is not None:
+            out["n_events"] = self.event_stats.n_events
+            out["n_arrivals"] = self.event_stats.n_arrivals
+            out["n_step_events"] = self.event_stats.n_step_events
+            out["n_idle_polls"] = self.event_stats.n_idle_polls
+        if self.registry is not None:
+            # Registry metrics never shadow the canonical keys above.
+            for key, value in self.registry.to_flat_dict().items():
+                out.setdefault(key, value)
+        return out
 
     def summary(self) -> str:
         """Multi-line human-readable summary."""
@@ -262,9 +316,14 @@ class ServingSimulator:
             loop.push(req.arrival_s, ARRIVAL, req)
         now_s = 0.0
         sched = self.scheduler
+        tracer = Tracer(name=self.name) if self.config.trace else NULL_TRACER
+        self.tracer = tracer
+        if tracer.enabled:
+            sched.tracer = tracer
         finished: List[SequenceState] = []
         iterations = 0
         peak_kv = 0.0
+        last_evicted = 0
 
         rejected: List[Request] = []
         while True:
@@ -277,6 +336,9 @@ class ServingSimulator:
                     # Could never be admitted: reject up front (a real
                     # server returns 4xx) instead of wedging the queue.
                     rejected.append(req)
+                    if tracer.enabled:
+                        tracer.event(EVT_REJECTED, req.arrival_s, 0,
+                                     req.req_id)
                     continue
                 sched.submit(req)
 
@@ -305,8 +367,18 @@ class ServingSimulator:
                 raise RuntimeError(
                     f"simulation exceeded {max_iterations} iterations; "
                     "the offered load likely diverges")
-            now_s += self.cost_model.step_us(plan) / 1e6
+            step_us = self.cost_model.step_us(plan)
+            t0 = now_s
+            now_s += step_us / 1e6
             peak_kv = max(peak_kv, sched.kv_utilization)
+            if tracer.enabled:
+                tracer.step(0, t0, step_us, plan, sched.kv_occupancy)
+                evicted = getattr(getattr(sched, "allocator", None),
+                                  "n_evicted_blocks", 0)
+                if evicted > last_evicted:
+                    tracer.event(EVT_EVICTED, t0, 0, -1,
+                                 evicted - last_evicted)
+                    last_evicted = evicted
             finished.extend(sched.complete(plan, now_s))
 
         records = [
@@ -323,6 +395,18 @@ class ServingSimulator:
             for s in finished
         ]
         records.sort(key=lambda r: r.req_id)
+        if tracer.enabled:
+            tracer.record_sequences(0, finished)
+        self.last_event_stats = loop.stats
+        registry = MetricsRegistry()
+        # Duck-typed schedulers (equivalence-test stand-ins) may not
+        # emit; the run still gets event-loop and request metrics.
+        emit = getattr(sched, "emit_metrics", None)
+        if emit is not None:
+            emit(registry)
+        loop.stats.emit_metrics(registry)
+        observe_request_metrics(registry, records,
+                                n_rejected=len(rejected))
         prefix = (sched.prefix_stats()
                   if getattr(sched, "prefix_caching", False) else None)
         return ServingReport(
@@ -342,4 +426,7 @@ class ServingSimulator:
                                    if prefix else 0.0),
             n_evicted_blocks=prefix.n_evicted_blocks if prefix else 0,
             n_cow_copies=prefix.n_cow_copies if prefix else 0,
+            event_stats=loop.stats,
+            registry=registry,
+            tracer=tracer if tracer.enabled else None,
         )

@@ -17,6 +17,11 @@ Checks:
    sustain a floor in simulated requests per wall-clock second (the
    1M-requests-under-60 s target runs at ~21 k req/s locally; the
    floor is ~2x CI slack on top of a 2x regression allowance).
+3. Tracing overhead: the same constant-cost simulation with
+   :mod:`repro.obs` timeline recording enabled must stay within
+   ``--trace-factor`` (default 1.5x) of the untraced wall clock —
+   the "near-zero-cost when disabled, cheap when enabled" contract
+   of the tracer's column-oriented buffers.
 
 Run with::
 
@@ -56,21 +61,21 @@ def _run_example(path: Path) -> float:
     return time.perf_counter() - t0
 
 
-def _event_core_rps(n_requests: int) -> float:
-    """Simulated requests per wall-clock second on a constant-cost sim."""
-    trace = [Request(req_id=i, arrival_s=i * 0.0002, prompt_tokens=32,
-                     output_tokens=8) for i in range(n_requests)]
+def _event_core_elapsed(n_requests: int, trace: bool = False) -> float:
+    """Wall-clock seconds for a constant-cost sim of ``n_requests``."""
+    requests = [Request(req_id=i, arrival_s=i * 0.0002, prompt_tokens=32,
+                        output_tokens=8) for i in range(n_requests)]
     budget = KVBudget(capacity_bytes=4e6, bytes_per_token=1.0)
     sim = SimConfig(scheduler=SchedulerConfig(token_budget=4096,
                                               max_seqs=256),
-                    name="perf-smoke",
+                    name="perf-smoke", trace=trace,
                     max_iterations=50_000_000).build(budget,
                                                      _ConstantCostModel())
     t0 = time.perf_counter()
-    report = sim.run(trace)
+    report = sim.run(requests)
     elapsed = time.perf_counter() - t0
     assert report.n_requests == n_requests
-    return n_requests / elapsed
+    return elapsed
 
 
 def main(argv=None) -> int:
@@ -86,6 +91,11 @@ def main(argv=None) -> int:
                              "second (default 5000; ~21k locally)")
     parser.add_argument("--requests", type=int, default=200_000,
                         help="trace size for the event-core check")
+    parser.add_argument("--trace-requests", type=int, default=50_000,
+                        help="trace size for the tracing-overhead check")
+    parser.add_argument("--trace-factor", type=float, default=1.5,
+                        help="max traced/untraced wall-clock ratio "
+                             "(default 1.5x)")
     args = parser.parse_args(argv)
 
     example = ROOT / "examples" / "cluster_serving.py"
@@ -94,9 +104,16 @@ def main(argv=None) -> int:
     print(f"cluster_serving.py: cold {cold_s:.2f} s, warm {warm_s:.2f} s "
           f"(budget {args.budget_s:.2f} s)")
 
-    rps = _event_core_rps(args.requests)
+    rps = args.requests / _event_core_elapsed(args.requests)
     print(f"event core: {args.requests:,} requests at {rps:,.0f} req/s "
           f"(floor {args.min_rps:,.0f})")
+
+    off_s = _event_core_elapsed(args.trace_requests, trace=False)
+    on_s = _event_core_elapsed(args.trace_requests, trace=True)
+    factor = on_s / off_s
+    print(f"tracing overhead: {args.trace_requests:,} requests, "
+          f"untraced {off_s:.2f} s, traced {on_s:.2f} s "
+          f"({factor:.2f}x, max {args.trace_factor:.2f}x)")
 
     failed = False
     if warm_s > args.budget_s:
@@ -106,6 +123,10 @@ def main(argv=None) -> int:
     if rps < args.min_rps:
         print(f"PERF REGRESSION: event core at {rps:,.0f} req/s < "
               f"{args.min_rps:,.0f} floor")
+        failed = True
+    if factor > args.trace_factor:
+        print(f"PERF REGRESSION: tracing costs {factor:.2f}x > "
+              f"{args.trace_factor:.2f}x allowance")
         failed = True
     if not failed:
         print("perf smoke passed")

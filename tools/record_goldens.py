@@ -21,6 +21,7 @@ import sys
 from repro.bench.cluster import make_replicas
 from repro.bench.serving import make_trace, simulate_mode
 from repro.cluster.fleet import SLO, FleetSimulator, size_fleet
+from repro.serve.api import FleetConfig
 from repro.core.engine import ComputeEngine
 from repro.gpu.spec import RTX4090
 from repro.llm.config import llama_7b
@@ -73,11 +74,12 @@ def record() -> dict:
     fleet = {}
     for policy in ("jsq", "least-kv"):
         replicas = make_replicas(3, "kv-cq-4", config=config, engine=engine)
-        rep = FleetSimulator(replicas, policy=policy).run(trace)
+        rep = FleetSimulator(replicas,
+                             config=FleetConfig(policy=policy)).run(trace)
         fleet[policy] = {
             "metrics": rep.metrics(),
-            "replica_iterations": [s[1] for s in rep.replica_stats],
-            "replica_requests": [s[0] for s in rep.replica_stats],
+            "replica_iterations": [s.n_iterations for s in rep.replica_stats],
+            "replica_requests": [s.n_requests for s in rep.replica_stats],
         }
     golden["fleet"] = fleet
 
