@@ -1,0 +1,45 @@
+"""Project-aware static analysis for the reproduction tree.
+
+The repo's correctness story rests on bit-identical determinism:
+golden tests pin metrics across refactors, ``run_sweep`` must be
+invariant to worker count, and the BENCH regression gate compares
+floats exactly.  The bug classes that break those guarantees are
+narrow and recurring — an unseeded RNG call, a wall-clock read inside
+an engine, a tracer record that is not guarded by ``tracer.enabled``,
+an argparse flag colliding with an existing dest — and each has
+shipped at least once before this pass existed.
+
+:mod:`repro.analysis` is an AST-based lint framework with a registry
+of project-specific rules (codes ``RPL001``..), JSON/text reporters
+and a committed baseline file for grandfathered findings, exposed as
+``python -m repro.analysis``.  See ``docs/architecture.md`` §10 for
+the rule catalog and the baseline workflow.
+"""
+
+from repro.analysis.core import (
+    AnalysisContext,
+    Finding,
+    ProjectRule,
+    Rule,
+    all_rules,
+    analyze_paths,
+    iter_python_files,
+    register,
+)
+from repro.analysis.baseline import Baseline, BaselineError
+
+# Importing the rules module populates the registry.
+import repro.analysis.rules  # noqa: F401
+
+__all__ = [
+    "AnalysisContext",
+    "Baseline",
+    "BaselineError",
+    "Finding",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "iter_python_files",
+    "register",
+]

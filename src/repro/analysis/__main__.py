@@ -1,0 +1,130 @@
+"""CLI for the project lint pass: ``python -m repro.analysis``.
+
+Default invocation scans ``src tools examples`` against the committed
+baseline (``tools/analysis_baseline.json``) and prints new findings.
+``--check`` is the CI gate: it additionally fails on stale baseline
+entries and entries with empty justifications.  ``--update-baseline``
+rewrites the baseline to cover the current findings, preserving
+existing justifications (new entries get an empty justification that
+``--check`` will refuse until a human fills it in).
+
+Exit status: 0 clean, 1 findings / parse errors / baseline problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.analysis import Baseline, BaselineError, all_rules, analyze_paths
+
+_DEFAULT_PATHS = ["src", "tools", "examples"]
+_DEFAULT_BASELINE = "tools/analysis_baseline.json"
+
+
+def _fingerprint_path(fingerprint: str) -> str:
+    """The path component of ``code:path:message``."""
+    parts = fingerprint.split(":", 2)
+    return parts[1] if len(parts) == 3 else ""
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific determinism lint pass (RPL rules).")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help=f"files/directories to analyze "
+                             f"(default: {' '.join(_DEFAULT_PATHS)})")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--baseline", default=_DEFAULT_BASELINE,
+                        help="baseline file of grandfathered findings "
+                             f"(default: {_DEFAULT_BASELINE})")
+    parser.add_argument("--check", action="store_true",
+                        help="CI mode: also fail on stale baseline "
+                             "entries and missing justifications")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to cover current "
+                             "findings (keeps existing justifications)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.title}")
+            print(f"        {rule.rationale}")
+        return 0
+
+    paths = [Path(p) for p in (args.paths or _DEFAULT_PATHS)]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 1
+
+    findings, errors = analyze_paths(paths)
+
+    baseline_path = Path(args.baseline)
+    try:
+        baseline = (Baseline.load(baseline_path)
+                    if baseline_path.exists() else Baseline())
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.update_baseline:
+        updated = Baseline.from_findings(findings, previous=baseline)
+        updated.save(baseline_path)
+        empty = updated.missing_justifications()
+        print(f"wrote {baseline_path} with {len(updated.entries)} "
+              f"entr{'y' if len(updated.entries) == 1 else 'ies'}")
+        for fp in empty:
+            print(f"  needs justification: {fp}")
+        return 0
+
+    new, baselined, stale = baseline.split(findings)
+    # A baseline entry is stale only if the file it points at was
+    # actually scanned — running the pass on a subtree (e.g. a single
+    # fixture) must not invalidate the rest of the baseline.
+    scanned = {f.path for f in findings} | {
+        str(Path(p).as_posix()) for path in paths
+        for p in ([path] if path.is_file() else sorted(path.rglob("*.py")))}
+    stale = [fp for fp in stale if _fingerprint_path(fp) in scanned]
+    unjustified = (baseline.missing_justifications()
+                   if args.check and baseline_path.exists() else [])
+
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [f.to_json() for f in new],
+            "baselined": len(baselined),
+            "stale": stale,
+            "unjustified": unjustified,
+            "errors": errors,
+        }, indent=2))
+    else:
+        for finding in new:
+            print(finding.render())
+        for err in errors:
+            print(f"parse error: {err}")
+        for fp in stale:
+            print(f"stale baseline entry (delete it): {fp}")
+        for fp in unjustified:
+            print(f"baseline entry needs a justification: {fp}")
+        summary = (f"{len(new)} finding{'s' if len(new) != 1 else ''}, "
+                   f"{len(baselined)} baselined")
+        if stale:
+            summary += f", {len(stale)} stale"
+        print(summary)
+
+    failed = bool(new or errors)
+    if args.check:
+        failed = failed or bool(stale or unjustified)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

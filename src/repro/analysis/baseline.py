@@ -1,0 +1,119 @@
+"""Committed baseline of grandfathered findings.
+
+A finding in the baseline is *known and accepted*: it is suppressed
+from the report (counted, not listed) so ``--check`` can gate CI on
+*new* findings only.  Every entry carries a mandatory human
+``justification`` — the baseline is a list of documented exceptions,
+not a mute button — and ``--check`` fails on entries whose
+justification is empty or whose finding no longer exists (stale
+entries must be deleted, keeping the file honest).
+
+Matching is by :attr:`~repro.analysis.core.Finding.fingerprint`
+(code + path + message, no line number), so grandfathered findings
+survive unrelated edits that shift line numbers.  ``count`` bounds how
+many identical findings one entry may absorb (default 1); an extra
+occurrence of a baselined pattern is a new finding.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.analysis.core import Finding
+
+__all__ = ["Baseline", "BaselineError"]
+
+_SCHEMA = 1
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file or invalid entry."""
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> (justification, count) map with JSON round-trip."""
+
+    entries: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: not valid JSON: {exc}") from exc
+        if not isinstance(raw, dict) or "entries" not in raw:
+            raise BaselineError(f"{path}: expected an object with 'entries'")
+        if raw.get("schema") != _SCHEMA:
+            raise BaselineError(
+                f"{path}: unsupported schema {raw.get('schema')!r} "
+                f"(expected {_SCHEMA})")
+        entries: Dict[str, Tuple[str, int]] = {}
+        for entry in raw["entries"]:
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                raise BaselineError(
+                    f"{path}: every entry needs a 'fingerprint'")
+            fp = entry["fingerprint"]
+            if fp in entries:
+                raise BaselineError(f"{path}: duplicate fingerprint {fp!r}")
+            count = entry.get("count", 1)
+            if not isinstance(count, int) or count < 1:
+                raise BaselineError(f"{path}: count must be a positive "
+                                    f"int, got {count!r}")
+            entries[fp] = (str(entry.get("justification", "")), count)
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "schema": _SCHEMA,
+            "entries": [
+                {"fingerprint": fp, "justification": just, "count": count}
+                for fp, (just, count) in sorted(self.entries.items())
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n",
+                        encoding="utf-8")
+
+    def split(self, findings: List[Finding]
+              ) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """Partition findings into (new, baselined) + stale fingerprints.
+
+        A baselined entry absorbs up to ``count`` findings with its
+        fingerprint; further occurrences are new.  Entries matching
+        nothing are stale.
+        """
+        budget = Counter({fp: count
+                          for fp, (_, count) in self.entries.items()})
+        matched: set = set()
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding in findings:
+            fp = finding.fingerprint
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                matched.add(fp)
+                old.append(finding)
+            else:
+                new.append(finding)
+        stale = sorted(fp for fp in self.entries if fp not in matched)
+        return new, old, stale
+
+    def missing_justifications(self) -> List[str]:
+        """Fingerprints whose justification is empty (``--check`` fails)."""
+        return sorted(fp for fp, (just, _) in self.entries.items()
+                      if not just.strip())
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding],
+                      previous: "Baseline" = None) -> "Baseline":
+        """Baseline covering ``findings``, keeping prior justifications."""
+        counts = Counter(f.fingerprint for f in findings)
+        prev = previous.entries if previous is not None else {}
+        return cls(entries={
+            fp: (prev.get(fp, ("", 1))[0], n)
+            for fp, n in counts.items()
+        })

@@ -1,0 +1,213 @@
+"""Rule registry, findings and the two-pass analysis driver.
+
+A *rule* is a class with a stable ``code`` (``RPLnnn``), a one-line
+``title`` and a ``check`` method yielding :class:`Finding` objects for
+one parsed file.  Most rules are purely local (one file at a time);
+rules that need cross-file facts — e.g. config-dataclass fields versus
+the CLI builders that set them — subclass :class:`ProjectRule` and run
+after every file has been collected.
+
+The driver (:func:`analyze_paths`) therefore makes two passes:
+
+1. parse every file once, let each rule ``collect`` per-file facts
+   into the shared :class:`AnalysisContext` and emit local findings;
+2. let project rules emit findings from the collected facts.
+
+Findings are deterministic: files are walked in sorted order and every
+rule emits in source order, so the report is stable across runs and
+machines (the analysis pass holds itself to the determinism bar it
+enforces).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Type
+
+__all__ = [
+    "AnalysisContext",
+    "Finding",
+    "ParsedFile",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "iter_python_files",
+    "register",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a file location.
+
+    ``fingerprint`` (code + path + message, no line number) is what the
+    baseline matches on, so a finding stays grandfathered when
+    unrelated edits shift it a few lines.
+    """
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.code}:{self.path}:{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: " \
+               f"{self.code} {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+@dataclass
+class ParsedFile:
+    """One analyzed source file: path (repo-relative), text and AST."""
+
+    path: str
+    source: str
+    tree: ast.AST
+
+    @property
+    def lines(self) -> List[str]:
+        return self.source.splitlines()
+
+
+@dataclass
+class AnalysisContext:
+    """Shared state of one analysis run.
+
+    ``root`` is the directory findings are reported relative to.
+    ``facts`` is a free-form blackboard local rules write during pass 1
+    (keyed by rule code) and project rules read during pass 2.
+    """
+
+    root: Path
+    files: List[ParsedFile] = field(default_factory=list)
+    facts: Dict[str, object] = field(default_factory=dict)
+
+    def relpath(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+
+class Rule:
+    """Base class of a local (single-file) rule."""
+
+    #: Stable rule identifier, e.g. ``"RPL003"``.
+    code: str = ""
+    #: One-line human description, shown by ``--list-rules``.
+    title: str = ""
+    #: Why the rule exists (the past bug it guards against).
+    rationale: str = ""
+
+    def check(self, parsed: ParsedFile,
+              ctx: AnalysisContext) -> Iterable[Finding]:
+        """Yield findings for one file (may also record facts)."""
+        return ()
+
+    def finding(self, parsed: ParsedFile, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(code=self.code, message=message, path=parsed.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0))
+
+
+class ProjectRule(Rule):
+    """A rule that also runs once over the whole collected project."""
+
+    def finalize(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        """Yield findings after every file has been collected."""
+        return ()
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.code:
+        raise ValueError(f"{cls.__name__} has no code")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by code."""
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".benchmarks", "node_modules",
+              "lint_fixtures"}
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Python files under ``paths`` (files pass through), sorted."""
+    out = []
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                out.append(path)
+            continue
+        for sub in sorted(path.rglob("*.py")):
+            # Skip-dirs are judged below the scanned root, so passing
+            # a fixture directory explicitly still analyzes it while a
+            # scan of tests/ walks past it.
+            if not any(part in _SKIP_DIRS
+                       for part in sub.relative_to(path).parts):
+                out.append(sub)
+    seen = set()
+    for path in sorted(out):
+        if path not in seen:
+            seen.add(path)
+            yield path
+
+
+def analyze_paths(paths: Iterable[Path], root: Optional[Path] = None,
+                  rules: Optional[List[Rule]] = None,
+                  ) -> tuple[List[Finding], List[str]]:
+    """Run the two-pass analysis; returns (findings, parse errors).
+
+    Syntax errors do not abort the run — the offending file is skipped
+    and reported in the error list (and makes the CLI exit non-zero),
+    so one broken file cannot hide findings in the rest of the tree.
+    """
+    root = (root or Path.cwd()).resolve()
+    rules = all_rules() if rules is None else rules
+    ctx = AnalysisContext(root=root)
+    findings: List[Finding] = []
+    errors: List[str] = []
+    for path in iter_python_files(paths):
+        rel = ctx.relpath(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=rel)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            errors.append(f"{rel}: {exc.__class__.__name__}: {exc}")
+            continue
+        parsed = ParsedFile(path=rel, source=source, tree=tree)
+        ctx.files.append(parsed)
+        for rule in rules:
+            findings.extend(rule.check(parsed, ctx))
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            findings.extend(rule.finalize(ctx))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings, errors

@@ -14,6 +14,7 @@ element-wise uniform grid cannot.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict
 
@@ -61,7 +62,10 @@ def mse_elementwise(data: np.ndarray, bits: int) -> float:
 def mse_vq(data: np.ndarray, bits_per_element: float,
            vector_size: int = 2, seed: int = 0) -> float:
     """VQ reconstruction MSE at an equivalent bit width."""
-    index_bits = int(round(bits_per_element * vector_size))
+    # Half-up, not round(): banker's rounding would map e.g. 2.5 and
+    # 3.5 bits/element (vector_size=2 -> 5.0, 7.0... exact halves like
+    # 6.5 index bits) inconsistently across adjacent sweep points.
+    index_bits = int(math.floor(bits_per_element * vector_size + 0.5))
     config = VQConfig(name=f"vq<{vector_size},{index_bits},1>",
                       vector_size=vector_size, index_bits=index_bits,
                       residuals=1, scope="tensor")
@@ -113,7 +117,6 @@ def model_accuracy_proxy(seed: int = 0, batch: int = 4,
 
     fp16_logits = model.forward(tokens)
     fp16_next = np.argmax(fp16_logits, axis=-1)
-    fp16_ppl = model.perplexity(tokens)
 
     overrides = {
         "fp16": {},

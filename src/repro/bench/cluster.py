@@ -102,6 +102,7 @@ def make_replicas(
     admission: str = "reserve",
     block_tokens: int = 16,
     prefix_caching: bool = False,
+    sanitize: bool = False,
 ) -> list:
     """``n`` identical fresh replicas of one serving mode.
 
@@ -129,7 +130,8 @@ def make_replicas(
                                    max_seqs=max_seqs,
                                    admission=admission,
                                    block_tokens=block_tokens,
-                                   prefix_caching=prefix_caching)
+                                   prefix_caching=prefix_caching,
+                                   sanitize=sanitize)
     return [Replica(i, sched_config.build(budget), cost) for i in range(n)]
 
 
@@ -405,6 +407,10 @@ def run(argv: Optional[Sequence[str]] = None,
     parser.add_argument("--prefix-caching", action="store_true",
                         help="enable per-replica prefix caching under "
                              "sizing (routing always enables it)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="arm allocator invariant checks "
+                             "(repro.serve.sanitize); metrics are "
+                             "bit-identical either way")
     parser.add_argument("--seed", type=int, default=0,
                         help="trace RNG seed")
     parser.add_argument("--verbose", action="store_true",
@@ -436,7 +442,7 @@ def run(argv: Optional[Sequence[str]] = None,
             output_mean=args.output_mean, trace_kind=trace_kind,
             seed=args.seed, engine=engine,
             block_tokens=args.block_tokens, reports=reports,
-            trace=args.trace_out is not None)
+            trace=args.trace_out is not None, sanitize=args.sanitize)
     else:
         table = fleet_sizing_comparison(
             spec=spec, config=config, modes=args.modes,
@@ -448,7 +454,7 @@ def run(argv: Optional[Sequence[str]] = None,
             max_replicas=args.max_replicas, engine=engine,
             admission=admission, block_tokens=args.block_tokens,
             prefix_caching=args.prefix_caching, reports=reports,
-            trace=args.trace_out is not None)
+            trace=args.trace_out is not None, sanitize=args.sanitize)
     if args.verbose:
         for value in reports.values():
             rep = value[1] if isinstance(value, tuple) else value

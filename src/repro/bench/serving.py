@@ -190,6 +190,7 @@ def simulate_mode(
     block_tokens: int = 16,
     prefix_caching: bool = False,
     trace: bool = False,
+    sanitize: bool = False,
 ) -> ServingReport:
     """Simulate one serving mode on an open-loop trace.
 
@@ -203,6 +204,8 @@ def simulate_mode(
     (``shared_prefix`` / ``chat``) or every lookup misses.
     ``trace=True`` records a :mod:`repro.obs` timeline on the returned
     report's ``tracer`` (metrics are bit-identical either way).
+    ``sanitize=True`` arms the allocator invariant checks of
+    :mod:`repro.serve.sanitize` (also bit-identical on metrics).
     """
     config = config or llama_7b()
     engine = engine or ComputeEngine(spec)
@@ -220,7 +223,8 @@ def simulate_mode(
                                   max_seqs=max_seqs,
                                   admission=admission,
                                   block_tokens=block_tokens,
-                                  prefix_caching=prefix_caching),
+                                  prefix_caching=prefix_caching,
+                                  sanitize=sanitize),
         name=name, trace=trace)
     cost_model = make_cost_model(engine, config, mode)
     return sim_config.build(budget, cost_model).run(requests)
@@ -454,6 +458,10 @@ def run(argv: Optional[Sequence[str]] = None,
                         help="share KV blocks across common prompt "
                              "prefixes (switches to the prefix on/off "
                              "comparison table; implies paged admission)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="arm allocator invariant checks "
+                             "(repro.serve.sanitize); metrics are "
+                             "bit-identical either way")
     parser.add_argument("--seed", type=int, default=0,
                         help="trace RNG seed")
     parser.add_argument("--verbose", action="store_true",
@@ -474,6 +482,7 @@ def run(argv: Optional[Sequence[str]] = None,
         seed=args.seed,
         block_tokens=args.block_tokens,
         trace=args.trace_out is not None,
+        sanitize=args.sanitize,
     )
     stats = trace_stats(make_trace(trace_kind, args.rate, args.requests,
                                    args.prompt_mean, args.output_mean,

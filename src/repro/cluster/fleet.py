@@ -651,6 +651,13 @@ class FleetSimulator:
                 in_heap[idx] = True
         self.last_event_stats = loop.stats
 
+        for rep in replicas:
+            alloc = getattr(rep.scheduler, "allocator", None)
+            if alloc is not None and alloc.sanitize:
+                # Per-replica full-heap audit at drain (reads state
+                # only; raises SanitizeError on a broken invariant).
+                alloc.audit_drained()
+
         records = [
             RequestRecord(
                 req_id=s.request.req_id,

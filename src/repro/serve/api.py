@@ -83,6 +83,11 @@ class SchedulerConfig:
     watermark_frac: float = 0.01
     #: Share KV blocks across common prompt prefixes (paged only).
     prefix_caching: bool = False
+    #: Arm allocator invariant checks (:mod:`repro.serve.sanitize`):
+    #: O(1) per-operation plus a full-heap audit at drain.  Env
+    #: ``REPRO_SANITIZE=1`` turns this on without touching configs.
+    #: Checks only read state — metrics stay bit-identical.
+    sanitize: bool = False
 
     def build(self, budget) -> "ContinuousBatchScheduler":
         """A fresh scheduler over ``budget`` with these options."""
@@ -103,11 +108,17 @@ class SimConfig:
     #: (:mod:`repro.obs`).  Off by default: the disabled path is
     #: bit-identical and near-free.
     trace: bool = False
+    #: Arm allocator sanitize mode for the run (threaded down to the
+    #: scheduler config; see :attr:`SchedulerConfig.sanitize`).
+    sanitize: bool = False
 
     def build(self, budget, cost_model) -> "ServingSimulator":
         """A fresh simulator: scheduler over ``budget``, this config."""
         from repro.serve.simulator import ServingSimulator
-        return ServingSimulator(self.scheduler.build(budget), cost_model,
+        sched_cfg = (replace(self.scheduler, sanitize=True)
+                     if self.sanitize and not self.scheduler.sanitize
+                     else self.scheduler)
+        return ServingSimulator(sched_cfg.build(budget), cost_model,
                                 config=self)
 
 
@@ -127,6 +138,9 @@ class FleetConfig:
     #: Record per-request lifecycle and per-step timelines across all
     #: replicas (:mod:`repro.obs`); disabled path is bit-identical.
     trace: bool = False
+    #: Arm allocator sanitize mode on every replica (threaded down to
+    #: the scheduler config; see :attr:`SchedulerConfig.sanitize`).
+    sanitize: bool = False
 
     def with_policy(self, policy) -> "FleetConfig":
         """This config with a different routing policy (stateful
@@ -143,6 +157,9 @@ class FleetConfig:
         """
         from repro.cluster.fleet import FleetSimulator, Replica
         cfg = self if name is None else replace(self, name=name)
-        replicas = [Replica(i, self.scheduler.build(budget), cost_model)
+        sched_cfg = (replace(self.scheduler, sanitize=True)
+                     if self.sanitize and not self.scheduler.sanitize
+                     else self.scheduler)
+        replicas = [Replica(i, sched_cfg.build(budget), cost_model)
                     for i in range(n_replicas)]
         return FleetSimulator(replicas, config=cfg)

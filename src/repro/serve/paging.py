@@ -28,7 +28,9 @@ the same factor in bytes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Set
+
+from repro.serve.sanitize import check, sanitize_enabled
 
 
 @dataclass(frozen=True)
@@ -81,10 +83,16 @@ class PagedKVAllocator:
     many token slots are live, which is what the fragmentation and
     occupancy statistics derive from.  Invariant (tested):
     ``used_blocks + free_blocks == total_blocks`` at all times.
+
+    ``sanitize=True`` (or env ``REPRO_SANITIZE=1``) arms O(1) invariant
+    checks on every operation plus :meth:`audit` /
+    :meth:`audit_drained` full-heap sweeps; see
+    :mod:`repro.serve.sanitize`.  Checks only read state, so sanitized
+    runs are bit-identical on metrics.
     """
 
     def __init__(self, total_blocks: int, block_tokens: int,
-                 bytes_per_block: float = 0.0):
+                 bytes_per_block: float = 0.0, sanitize: bool = False):
         if total_blocks < 1:
             raise ValueError("total_blocks must be >= 1")
         if block_tokens < 1:
@@ -96,9 +104,18 @@ class PagedKVAllocator:
         self._used_tokens: Dict[int, int] = {}
         self._used_blocks = 0
         self.peak_used_blocks = 0
+        self.sanitize = sanitize_enabled(sanitize)
+        #: Sanitize-mode shadow state: owners that currently hold an
+        #: allocation, and owners whose allocation was already freed —
+        #: a release hitting the second set is a double-free.  An owner
+        #: the allocator has never seen is *not* an error (``release``
+        #: documents "0 if unknown"), so direct API users stay valid.
+        self._live_owners: Set[int] = set()
+        self._freed_owners: Set[int] = set()
 
     @classmethod
-    def from_budget(cls, budget, block_tokens: int) -> "PagedKVAllocator":
+    def from_budget(cls, budget, block_tokens: int,
+                    sanitize: bool = False) -> "PagedKVAllocator":
         """Carve a :class:`~repro.serve.scheduler.KVBudget` into blocks.
 
         The resident-codebook overhead comes off the top (it is not
@@ -116,7 +133,7 @@ class PagedKVAllocator:
                 f"budget holds {pool:.0f} bytes but one "
                 f"{block_tokens}-token block needs {bytes_per_block:.0f}")
         return cls(total_blocks=total, block_tokens=block_tokens,
-                   bytes_per_block=bytes_per_block)
+                   bytes_per_block=bytes_per_block, sanitize=sanitize)
 
     # -- accounting ----------------------------------------------------
     @property
@@ -165,14 +182,92 @@ class PagedKVAllocator:
                                         self._used_blocks)
         if tokens > self._used_tokens.get(owner, 0):
             self._used_tokens[owner] = tokens
+        if self.sanitize:
+            self._note_live(owner)
+            check(0 <= self._used_blocks <= self.total_blocks,
+                  f"used_blocks counter {self._used_blocks} outside "
+                  f"[0, {self.total_blocks}] after ensure({owner!r})")
+            check(self._used_tokens.get(owner, 0)
+                  <= self.holds(owner) * self.block_tokens,
+                  f"owner {owner!r} accounts "
+                  f"{self._used_tokens.get(owner, 0)} tokens but holds "
+                  f"only {self.holds(owner)} blocks")
         return True
 
     def release(self, owner: int) -> int:
         """Return all of ``owner``'s blocks to the free list."""
+        if self.sanitize:
+            self._note_freed(owner)
         self._used_tokens.pop(owner, None)
         freed = self._held.pop(owner, 0)
         self._used_blocks -= freed
+        if self.sanitize:
+            check(freed >= 0 and self._used_blocks >= 0,
+                  f"release({owner!r}) drove used_blocks to "
+                  f"{self._used_blocks} (freed {freed}); the free-list "
+                  f"counter no longer matches per-owner holdings")
         return freed
+
+    # -- sanitize mode -------------------------------------------------
+    def _note_live(self, owner: int) -> None:
+        self._live_owners.add(owner)
+        self._freed_owners.discard(owner)
+
+    def _note_freed(self, owner: int) -> None:
+        check(owner not in self._freed_owners,
+              f"double free: owner {owner!r} released twice without an "
+              f"intervening allocation")
+        if owner in self._live_owners:
+            self._live_owners.discard(owner)
+            self._freed_owners.add(owner)
+
+    def notify_admitted(self, owner: int) -> None:
+        """Sanitize-mode hook: the scheduler declares ``owner`` live at
+        admission, so a release before any allocation is still tracked
+        against double-free.  No-op when sanitize mode is off."""
+        if self.sanitize:
+            check(owner not in self._live_owners,
+                  f"owner {owner!r} admitted while already live "
+                  f"(admission without release)")
+            self._note_live(owner)
+
+    def audit(self) -> None:
+        """Full-heap sweep of every redundant invariant (O(owners)).
+
+        Run by the simulators at drain when sanitize mode is on; callable
+        any time the allocator is quiescent (between operations).
+        """
+        held_sum = sum(self._held.values())
+        check(self._used_blocks == held_sum,
+              f"used_blocks counter {self._used_blocks} != "
+              f"sum of per-owner holdings {held_sum}")
+        for owner, blocks in self._held.items():
+            check(blocks > 0,
+                  f"owner {owner!r} holds a non-positive block count "
+                  f"{blocks}")
+        for owner, tokens in self._used_tokens.items():
+            check(tokens <= self.holds(owner) * self.block_tokens,
+                  f"owner {owner!r} accounts {tokens} tokens but holds "
+                  f"only {self.holds(owner)} blocks")
+        check(self.used_blocks + self.free_blocks == self.total_blocks,
+              f"conservation broken: used {self.used_blocks} + free "
+              f"{self.free_blocks} != total {self.total_blocks}")
+        check(0 <= self.peak_used_blocks <= self.total_blocks,
+              f"peak_used_blocks {self.peak_used_blocks} outside "
+              f"[0, {self.total_blocks}]")
+
+    def audit_drained(self) -> None:
+        """:meth:`audit` plus drained-pool checks: after every sequence
+        finished, no owner may hold blocks or token accounting."""
+        self.audit()
+        check(not self._held,
+              f"{len(self._held)} owner(s) still hold blocks after "
+              f"drain: {sorted(self._held)[:5]}")
+        check(not self._used_tokens,
+              f"{len(self._used_tokens)} owner(s) still account tokens "
+              f"after drain: {sorted(self._used_tokens)[:5]}")
+        check(self._used_blocks == 0,
+              f"used_blocks is {self._used_blocks} after drain")
 
     def stats(self) -> PagingStats:
         """Snapshot for reports and tests."""

@@ -59,6 +59,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.serve.paging import PagedKVAllocator, PagingStats
+from repro.serve.sanitize import check
 
 #: Multiplier/modulus of the polynomial rolling hash (64-bit prime
 #: modulus; the multiplier is a large odd constant well-spread mod 2^61).
@@ -306,8 +307,9 @@ class PrefixCachingAllocator(PagedKVAllocator):
     """
 
     def __init__(self, total_blocks: int, block_tokens: int,
-                 bytes_per_block: float = 0.0):
-        super().__init__(total_blocks, block_tokens, bytes_per_block)
+                 bytes_per_block: float = 0.0, sanitize: bool = False):
+        super().__init__(total_blocks, block_tokens, bytes_per_block,
+                         sanitize=sanitize)
         self.cache = PrefixCache(block_tokens)
         self._shared: Dict[int, List[_RadixNode]] = {}
         self.n_lookups = 0
@@ -394,6 +396,8 @@ class PrefixCachingAllocator(PagedKVAllocator):
         self.cache.lock(path)
         if path:
             self._shared[owner] = path
+        if self.sanitize:
+            self._note_live(owner)
         cached = len(path) * bt
         self.n_lookups += 1
         if path:
@@ -421,6 +425,16 @@ class PrefixCachingAllocator(PagedKVAllocator):
                                         self.used_blocks)
         if tokens > self._used_tokens.get(owner, 0):
             self._used_tokens[owner] = tokens
+        if self.sanitize:
+            self._note_live(owner)
+            check(self.raw_free_blocks >= 0,
+                  f"free list overdrawn: raw_free_blocks is "
+                  f"{self.raw_free_blocks} after ensure({owner!r})")
+            check(self._used_tokens.get(owner, 0)
+                  <= self.holds(owner) * self.block_tokens,
+                  f"owner {owner!r} accounts "
+                  f"{self._used_tokens.get(owner, 0)} tokens but holds "
+                  f"only {self.holds(owner)} blocks (private + shared)")
         return True
 
     # -- release / commit ----------------------------------------------
@@ -434,6 +448,8 @@ class PrefixCachingAllocator(PagedKVAllocator):
         Returns the number of blocks returned to the free list (blocks
         that became cached are resident, not free).
         """
+        if self.sanitize:
+            self._note_freed(owner)
         shared = self._shared.pop(owner, [])
         if token_ids:
             bt = self.block_tokens
@@ -454,6 +470,10 @@ class PrefixCachingAllocator(PagedKVAllocator):
         self._used_tokens.pop(owner, None)
         freed = self._held.pop(owner, 0)
         self._used_blocks -= freed
+        if self.sanitize:
+            check(self._used_blocks >= 0,
+                  f"release({owner!r}) drove the private-block counter "
+                  f"to {self._used_blocks}")
         return freed
 
     # -- stats ---------------------------------------------------------
@@ -530,6 +550,89 @@ class PrefixCachingAllocator(PagedKVAllocator):
             "prefix_referenced_blocks",
             "Tree blocks referenced by live sequences at run end",
             **labels).set(self.cache.n_referenced)
+
+    # -- sanitize mode -------------------------------------------------
+    def audit(self) -> None:
+        """Base-pool audit plus a full radix-tree consistency sweep.
+
+        The tree walk verifies, for every node: the rolling hash chains
+        from the parent (``key == rolling_hash(parent.key, tokens)``),
+        parent/child links are mutual, blocks are exactly
+        ``block_tokens`` wide, refs are non-negative, and every
+        referenced node has a referenced parent (locks are path
+        prefixes).  Tallies (``n_nodes``, ``n_referenced``) and the sum
+        of per-node refs are re-derived and compared against the O(1)
+        counters and the locks live sequences hold.
+        """
+        super().audit()
+        cache = self.cache
+        n_nodes = 0
+        n_ref = 0
+        ref_sum = 0
+        stack = [cache._root]
+        while stack:
+            node = stack.pop()
+            for key, child in node.children.items():
+                n_nodes += 1
+                check(child.parent is node,
+                      f"node {child.key} has a stale parent link")
+                check(child.key == key,
+                      f"node keyed {key} in its parent's children map "
+                      f"carries key {child.key}")
+                check(child.key == rolling_hash(node.key, child.tokens),
+                      f"node {child.key} does not hash-chain from its "
+                      f"parent {node.key}: the tree no longer matches "
+                      f"its lookup keys")
+                check(len(child.tokens) == self.block_tokens,
+                      f"node {child.key} stores {len(child.tokens)} "
+                      f"tokens; only full {self.block_tokens}-token "
+                      f"blocks may be cached")
+                check(child.ref >= 0,
+                      f"node {child.key} has negative ref {child.ref}")
+                if child.ref > 0:
+                    n_ref += 1
+                    check(node is cache._root or node.ref > 0,
+                          f"node {child.key} is referenced but its "
+                          f"parent is not; locks must be path prefixes")
+                ref_sum += child.ref
+                stack.append(child)
+        check(n_nodes == cache._n_nodes,
+              f"tree holds {n_nodes} nodes but the n_nodes tally says "
+              f"{cache._n_nodes}")
+        check(n_ref == cache._n_referenced,
+              f"{n_ref} nodes are referenced but the n_referenced "
+              f"tally says {cache._n_referenced}")
+        lock_sum = sum(len(path) for path in self._shared.values())
+        check(ref_sum == lock_sum,
+              f"node refs sum to {ref_sum} but live sequences hold "
+              f"{lock_sum} locks (refcount leak)")
+        for owner, path in self._shared.items():
+            prev = cache._root
+            for node in path:
+                check(node.parent is prev,
+                      f"owner {owner!r}'s locked path is not a "
+                      f"root-down path")
+                check(node.ref >= 1,
+                      f"owner {owner!r} locks node {node.key} whose "
+                      f"ref is {node.ref}")
+                prev = node
+        check(self._used_blocks + cache.n_blocks + self.raw_free_blocks
+              == self.total_blocks,
+              f"pool partition broken: private {self._used_blocks} + "
+              f"cached {cache.n_blocks} + free {self.raw_free_blocks} "
+              f"!= total {self.total_blocks}")
+
+    def audit_drained(self) -> None:
+        """Drained audit: additionally, no live sequence may still lock
+        tree blocks (cached-but-unreferenced residents are fine — a
+        warm cache is the point)."""
+        check(not self._shared,
+              f"{len(self._shared)} owner(s) still lock cached blocks "
+              f"after drain: {sorted(self._shared)[:5]}")
+        check(self.cache.n_referenced == 0,
+              f"{self.cache.n_referenced} tree blocks still referenced "
+              f"after drain")
+        super().audit_drained()
 
     def check_conservation(self) -> None:
         """Assert the pool partition: private + tree + free == total.

@@ -383,7 +383,8 @@ class ContinuousBatchScheduler:
         if admission == "paged":
             alloc_cls = (PrefixCachingAllocator if prefix_caching
                          else PagedKVAllocator)
-            self.allocator = alloc_cls.from_budget(budget, block_tokens)
+            self.allocator = alloc_cls.from_budget(
+                budget, block_tokens, sanitize=config.sanitize)
             self._watermark_blocks = int(self.allocator.total_blocks
                                          * watermark_frac)
         self.waiting: Deque[Request] = deque()
@@ -639,6 +640,11 @@ class ContinuousBatchScheduler:
                                       seq.request.req_id, 1)
             else:
                 seq = self._new_sequence(self.waiting.popleft(), now_s)
+            if alloc.sanitize:
+                # Declare the owner live before any allocation so a
+                # release with zero blocks still counts for the
+                # double-free check.
+                alloc.notify_admitted(req.req_id)
             if known is not None:
                 cached = alloc.match_and_lock(req.req_id, known)
                 seq.prefilled = cached

@@ -381,6 +381,13 @@ class ServingSimulator:
                     last_evicted = evicted
             finished.extend(sched.complete(plan, now_s))
 
+        alloc = getattr(sched, "allocator", None)
+        if alloc is not None and alloc.sanitize:
+            # Full-heap audit at drain: every sequence finished, so the
+            # pool must be back to empty (only reads state; raises
+            # SanitizeError on any broken invariant).
+            alloc.audit_drained()
+
         records = [
             RequestRecord(
                 req_id=s.request.req_id,

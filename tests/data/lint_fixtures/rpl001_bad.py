@@ -1,0 +1,10 @@
+"""Fixture: unseeded global-state RNG draws (RPL001 x3)."""
+import random
+
+import numpy as np
+
+
+def jitter(n):
+    noise = np.random.normal(size=n)        # RPL001
+    pick = np.random.randint(0, n)          # RPL001
+    return noise, pick, random.random()     # RPL001

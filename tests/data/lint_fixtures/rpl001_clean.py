@@ -1,0 +1,10 @@
+"""Fixture: all randomness threads a seeded Generator (no RPL001)."""
+import random
+
+import numpy as np
+
+
+def jitter(n, seed=0):
+    rng = np.random.default_rng(seed)
+    local = random.Random(seed)
+    return rng.normal(size=n), rng.integers(0, n), local.random()

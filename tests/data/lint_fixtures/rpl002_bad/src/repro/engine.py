@@ -1,0 +1,9 @@
+"""Fixture: wall-clock reads inside an engine module (RPL002 x2)."""
+import time
+from datetime import datetime
+
+
+def step(state):
+    started = time.perf_counter()           # RPL002
+    state["stamp"] = datetime.now()         # RPL002
+    return started

@@ -1,0 +1,6 @@
+"""Fixture: simulated time is threaded in as an argument (no RPL002)."""
+
+
+def step(state, now_s):
+    state["stamp"] = now_s
+    return now_s + state.get("step_s", 0.001)

@@ -1,0 +1,8 @@
+"""Fixture: tracer record calls without an enabled guard (RPL003 x2)."""
+
+
+def run(sched, tracer, now_s):
+    tracer.event("admitted", now_s, 0, 1)               # RPL003
+    sched.tracer.step(0, now_s, 100.0, None, 0.5)       # RPL003
+    if tracer.enabled:
+        tracer.request(1, now_s)                        # guarded: ok

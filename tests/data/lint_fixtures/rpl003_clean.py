@@ -1,0 +1,9 @@
+"""Fixture: every tracer record call sits under an enabled guard."""
+
+
+def run(sched, tracer, now_s):
+    if tracer.enabled:
+        tracer.event("admitted", now_s, 0, 1)
+        tracer.step(0, now_s, 100.0, None, 0.5)
+    if sched.tracer.enabled and now_s > 0:
+        sched.tracer.record_sequences(0, [])

@@ -1,0 +1,11 @@
+"""Fixture: argparse option and dest collisions (RPL004 x2)."""
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--trace", default=None)
+    parser.add_argument("--trace", action="store_true")      # RPL004: option
+    parser.add_argument("--trace-out", dest="trace_out")
+    parser.add_argument("--out", dest="trace_out")           # RPL004: dest
+    return parser

@@ -1,0 +1,10 @@
+"""Fixture: distinct options and dests, aliases on one call (no RPL004)."""
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--trace-kind", "--trace", dest="trace_kind")
+    parser.add_argument("--trace-out", default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    return parser

@@ -1,0 +1,7 @@
+"""Fixture: CLI builder passing a kwarg the config dropped (RPL005)."""
+from repro.serve.api import SchedulerConfig
+
+
+def build(args):
+    return SchedulerConfig(token_budget=args.token_budget,
+                           max_seqs=args.max_seqs)  # RPL005: unknown field

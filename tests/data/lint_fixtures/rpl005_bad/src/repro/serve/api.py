@@ -1,0 +1,8 @@
+"""Fixture: config class with a field the CLI never wires (RPL005)."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    token_budget: int = 2048
+    orphan_knob: float = 0.5  # RPL005: no CLI builder sets it

@@ -1,0 +1,13 @@
+"""Fixture: CLI builder covering every config field (no RPL005)."""
+import argparse
+
+from repro.serve.api import SchedulerConfig
+
+
+def build(argv=None):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--token-budget", type=int, default=2048)
+    parser.add_argument("--block-tokens", type=int, default=16)
+    args = parser.parse_args(argv)
+    return SchedulerConfig(token_budget=args.token_budget,
+                           block_tokens=args.block_tokens)

@@ -1,0 +1,8 @@
+"""Fixture: every config field round-trips through the CLI builder."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    token_budget: int = 2048
+    block_tokens: int = 16

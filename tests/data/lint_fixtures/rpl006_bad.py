@@ -1,0 +1,8 @@
+"""Fixture: deprecation warned with the default category (RPL006)."""
+import warnings
+
+
+def legacy(old=None):
+    if old is not None:
+        warnings.warn("the 'old' kwarg is deprecated; use config=")  # RPL006
+    return old

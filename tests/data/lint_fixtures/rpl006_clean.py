@@ -1,0 +1,16 @@
+"""Fixture: deprecation shims pass DeprecationWarning (no RPL006)."""
+import warnings
+
+
+def legacy(old=None):
+    if old is not None:
+        warnings.warn("the 'old' kwarg is deprecated; use config=",
+                      DeprecationWarning, stacklevel=2)
+    return old
+
+
+def soon(old=None):
+    if old is not None:
+        warnings.warn("'old' will be deprecated next release",
+                      category=PendingDeprecationWarning, stacklevel=2)
+    return old

@@ -1,0 +1,11 @@
+"""Fixture: set iteration feeding an ordered report (RPL007 x3)."""
+
+
+def report(metrics, extra):
+    out = {}
+    for key in set(metrics) | set(extra):       # RPL007
+        out[key] = metrics.get(key, 0)
+    rows = [k for k in {"ttft", "tpot"}]        # RPL007
+    for name in frozenset(extra):               # RPL007
+        out.setdefault(name, 0)
+    return out, rows

@@ -1,0 +1,6 @@
+"""Fixture: bare round() on a split heuristic (RPL008 x2)."""
+
+
+def optimal_split(cost, factor):
+    split = round(cost * factor)            # RPL008
+    return int(round(split / 2))            # RPL008

@@ -1,0 +1,9 @@
+"""Fixture: explicit rounding direction (no RPL008)."""
+import math
+
+import numpy as np
+
+
+def optimal_split(cost, factor):
+    split = math.floor(cost * factor + 0.5)  # explicit half-up
+    return int(np.rint(split / 2))           # attribute call, not flagged

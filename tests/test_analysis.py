@@ -1,0 +1,201 @@
+"""Tests of the repro.analysis lint pass.
+
+Every rule is exercised against a pair of fixture snippets under
+``tests/data/lint_fixtures/`` — one violating (the rule must fire, with
+the expected count) and one clean (the rule must stay silent with every
+rule armed, so fixtures double as false-positive regression tests).
+The CLI is driven as a subprocess for the exit-code contract, and the
+tree self-check asserts the repo itself is clean modulo the committed
+baseline.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    BaselineError,
+    Finding,
+    all_rules,
+    analyze_paths,
+    iter_python_files,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURES = REPO / "tests" / "data" / "lint_fixtures"
+
+#: rule code -> (bad fixture, clean fixture, findings expected in bad).
+CASES = {
+    "RPL001": ("rpl001_bad.py", "rpl001_clean.py", 3),
+    "RPL002": ("rpl002_bad", "rpl002_clean", 2),
+    "RPL003": ("rpl003_bad.py", "rpl003_clean.py", 2),
+    # The duplicated --trace collides on both the option string and
+    # the derived dest, hence 3 findings from 2 bad calls.
+    "RPL004": ("rpl004_bad.py", "rpl004_clean.py", 3),
+    "RPL005": ("rpl005_bad", "rpl005_clean", 2),
+    "RPL006": ("rpl006_bad.py", "rpl006_clean.py", 1),
+    "RPL007": ("rpl007_bad.py", "rpl007_clean.py", 3),
+    "RPL008": ("rpl008_bad.py", "rpl008_clean.py", 2),
+}
+
+
+def run_fixture(name):
+    findings, errors = analyze_paths([FIXTURES / name], root=FIXTURES)
+    assert errors == []
+    return findings
+
+
+class TestRegistry:
+    def test_all_eight_rules_registered(self):
+        codes = [rule.code for rule in all_rules()]
+        assert codes == sorted(CASES)
+
+    def test_rules_carry_title_and_rationale(self):
+        for rule in all_rules():
+            assert rule.title and rule.rationale
+
+
+@pytest.mark.parametrize("code", sorted(CASES))
+class TestRules:
+    def test_bad_fixture_fires(self, code):
+        bad, _, expected = CASES[code]
+        hits = [f for f in run_fixture(bad) if f.code == code]
+        assert len(hits) == expected, \
+            f"{code} found {len(hits)} of {expected}: {hits}"
+        for f in hits:
+            assert f.line > 0 and f.message
+
+    def test_clean_fixture_silent(self, code):
+        _, clean, _ = CASES[code]
+        assert run_fixture(clean) == []
+
+
+class TestFraming:
+    def test_syntax_error_reported_not_fatal(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def oops(:\n")
+        (tmp_path / "fine.py").write_text("import time\nt = time.time()\n")
+        findings, errors = analyze_paths([tmp_path], root=tmp_path)
+        assert len(errors) == 1 and "broken.py" in errors[0]
+        assert findings == []  # fine.py is not under src/repro
+
+    def test_iter_skips_fixture_dir_from_above(self):
+        files = list(iter_python_files([REPO / "tests"]))
+        assert not any("lint_fixtures" in p.parts for p in files)
+        # ...but scanning a fixture directly still works.
+        assert list(iter_python_files([FIXTURES / "rpl002_bad"]))
+
+    def test_findings_deterministically_ordered(self):
+        first = [f.render() for f in run_fixture("rpl001_bad.py")]
+        second = [f.render() for f in run_fixture("rpl001_bad.py")]
+        assert first == second
+
+
+class TestBaseline:
+    def fp(self, code="RPL008", path="a.py", msg="m"):
+        return Finding(code=code, message=msg, path=path, line=3)
+
+    def test_fingerprint_ignores_line(self):
+        a = Finding(code="RPL008", message="m", path="a.py", line=3)
+        b = Finding(code="RPL008", message="m", path="a.py", line=99)
+        assert a.fingerprint == b.fingerprint
+
+    def test_split_respects_count_budget(self):
+        f = self.fp()
+        base = Baseline(entries={f.fingerprint: ("known", 2)})
+        new, old, stale = base.split([f, f, f])
+        assert len(old) == 2 and len(new) == 1 and stale == []
+
+    def test_unmatched_entry_is_stale(self):
+        base = Baseline(entries={"RPL001:gone.py:msg": ("known", 1)})
+        new, old, stale = base.split([])
+        assert stale == ["RPL001:gone.py:msg"]
+
+    def test_missing_justifications(self):
+        base = Baseline(entries={"RPL001:a.py:m": ("", 1),
+                                 "RPL002:b.py:m": ("why", 1)})
+        assert base.missing_justifications() == ["RPL001:a.py:m"]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        f = self.fp()
+        base = Baseline.from_findings([f, f])
+        base.entries[f.fingerprint] = ("because", 2)
+        path = tmp_path / "base.json"
+        base.save(path)
+        assert Baseline.load(path).entries == base.entries
+
+    def test_load_rejects_bad_schema(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps({"schema": 99, "entries": []}))
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_load_rejects_nonpositive_count(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "entries": [{"fingerprint": "RPL001:a.py:m", "count": 0}]}))
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_from_findings_keeps_prior_justification(self):
+        f = self.fp()
+        prev = Baseline(entries={f.fingerprint: ("kept", 1)})
+        assert Baseline.from_findings([f], previous=prev).entries == {
+            f.fingerprint: ("kept", 1)}
+
+
+def run_cli(*args, cwd=REPO):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True, text=True, cwd=cwd,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"})
+
+
+class TestCLI:
+    def test_tree_is_clean_modulo_baseline(self):
+        proc = run_cli("--check")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_violating_fixture_fails_check(self):
+        for code, (bad, _, _) in sorted(CASES.items()):
+            proc = run_cli("--check", str(FIXTURES / bad))
+            assert proc.returncode == 1, f"{code}: {proc.stdout}"
+            assert code in proc.stdout
+
+    def test_clean_fixture_passes_check(self):
+        proc = run_cli("--check", str(FIXTURES / "rpl001_clean.py"))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_json_format(self):
+        proc = run_cli("--format", "json",
+                       str(FIXTURES / "rpl008_bad.py"))
+        payload = json.loads(proc.stdout)
+        assert [f["code"] for f in payload["findings"]] == ["RPL008"] * 2
+        assert payload["errors"] == []
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for code in CASES:
+            assert code in proc.stdout
+
+    def test_missing_path_errors(self):
+        proc = run_cli("definitely/not/here")
+        assert proc.returncode == 1
+        assert "no such path" in proc.stderr
+
+
+class TestSelfCheck:
+    def test_repo_findings_all_baselined(self):
+        findings, errors = analyze_paths(
+            [REPO / "src", REPO / "tools", REPO / "examples"], root=REPO)
+        assert errors == []
+        base = Baseline.load(REPO / "tools" / "analysis_baseline.json")
+        new, _, stale = base.split(findings)
+        assert new == [], [f.render() for f in new]
+        assert stale == []
+        assert base.missing_justifications() == []

@@ -1,0 +1,276 @@
+"""Tests of the allocator sanitizer (:mod:`repro.serve.sanitize`).
+
+Two promises are under test:
+
+1. **Transparency** — arming sanitize mode changes no metric: a
+   sanitized run's report is bit-identical to the unsanitized run on
+   the same trace (checked on paged, prefix-caching and fleet runs,
+   including a 10k-request soak).
+2. **Sensitivity** — injected corruption (double-free, refcount
+   decrement, counter drift, tree rewiring) raises
+   :class:`SanitizeError` instead of silently skewing results; a
+   hypothesis property test drives random op sequences and corruption
+   kinds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.fleet import FleetSimulator, Replica
+from repro.serve.api import FleetConfig, SchedulerConfig, SimConfig
+from repro.serve.paging import PagedKVAllocator
+from repro.serve.prefix import PrefixCachingAllocator, rolling_hash
+from repro.serve.requests import (
+    multi_turn_chat_trace,
+    poisson_trace,
+)
+from repro.serve.sanitize import SanitizeError, sanitize_enabled
+from repro.serve.scheduler import KVBudget
+
+
+class ConstantCostModel:
+    """Stub: every iteration costs a fixed time."""
+
+    def step_us(self, plan):
+        return 1000.0
+
+
+def _budget(tokens=4096):
+    return KVBudget(capacity_bytes=float(tokens * 2048),
+                    bytes_per_token=2048.0)
+
+
+def _run(trace, *, sanitize, prefix=False, budget_tokens=4096):
+    config = SimConfig(
+        scheduler=SchedulerConfig(admission="paged", max_seqs=32,
+                                  prefix_caching=prefix),
+        sanitize=sanitize)
+    sim = config.build(_budget(budget_tokens), ConstantCostModel())
+    return sim.run(trace)
+
+
+class TestActivation:
+    def test_config_flag_arms_allocator(self):
+        alloc = PagedKVAllocator(8, 4, sanitize=True)
+        assert alloc.sanitize
+
+    def test_env_var_arms_allocator(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert PagedKVAllocator(8, 4).sanitize
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not PagedKVAllocator(8, 4).sanitize
+
+    def test_sim_config_threads_down(self):
+        trace = poisson_trace(8.0, 8, seed=0)
+        config = SimConfig(scheduler=SchedulerConfig(admission="paged"),
+                           sanitize=True)
+        sim = config.build(_budget(), ConstantCostModel())
+        assert sim.scheduler.allocator.sanitize
+
+    def test_fleet_config_threads_down(self):
+        fleet = FleetConfig(
+            scheduler=SchedulerConfig(admission="paged"),
+            sanitize=True).build(2, _budget(), ConstantCostModel())
+        for rep in fleet.replicas:
+            assert rep.scheduler.allocator.sanitize
+
+    def test_flag_or_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert sanitize_enabled(True)
+        assert not sanitize_enabled(False)
+
+
+class TestTransparency:
+    """Sanitized runs are bit-identical on metrics."""
+
+    def test_paged_run_metric_identical(self):
+        trace = poisson_trace(24.0, 200, seed=3)
+        plain = _run(trace, sanitize=False, budget_tokens=1024)
+        armed = _run(trace, sanitize=True, budget_tokens=1024)
+        assert plain.metrics() == armed.metrics()
+
+    def test_prefix_run_metric_identical(self):
+        trace = multi_turn_chat_trace(12, 5, seed=5)
+        plain = _run(trace, sanitize=False, prefix=True, budget_tokens=2048)
+        armed = _run(trace, sanitize=True, prefix=True, budget_tokens=2048)
+        assert plain.metrics() == armed.metrics()
+
+    def test_preemption_heavy_run_metric_identical(self):
+        # A pool this tight forces recompute preemptions; the sanitizer
+        # must survive the release/re-admit churn without drift.
+        trace = poisson_trace(32.0, 100, seed=7)
+        plain = _run(trace, sanitize=False, budget_tokens=640)
+        armed = _run(trace, sanitize=True, budget_tokens=640)
+        assert plain.n_preempted > 0
+        assert plain.metrics() == armed.metrics()
+
+    def test_fleet_run_metric_identical(self):
+        trace = poisson_trace(24.0, 150, seed=9)
+
+        def fleet(sanitize):
+            return FleetConfig(
+                scheduler=SchedulerConfig(admission="paged", max_seqs=16),
+                sanitize=sanitize).build(
+                    3, _budget(1024), ConstantCostModel()).run(trace)
+
+        assert fleet(False).metrics() == fleet(True).metrics()
+
+    def test_10k_request_soak_metric_identical(self):
+        # The ISSUE-level soak: a 10k-request sanitized run drains
+        # clean (per-op checks plus the full audit) and matches the
+        # unsanitized goldens bit for bit.
+        trace = poisson_trace(200.0, 10_000, seed=11,
+                              prompt=_short(64), output=_short(8))
+        plain = _run(trace, sanitize=False, budget_tokens=4096)
+        armed = _run(trace, sanitize=True, budget_tokens=4096)
+        assert plain.metrics() == armed.metrics()
+
+
+def _short(mean):
+    from repro.serve.requests import LengthSampler
+    return LengthSampler(mean=mean, cv=0.3, lo=1, hi=4 * mean)
+
+
+class TestSensitivity:
+    """Injected corruption raises instead of skewing metrics."""
+
+    def _armed(self, total=32, bt=4):
+        return PagedKVAllocator(total, bt, sanitize=True)
+
+    def test_double_free_raises(self):
+        alloc = self._armed()
+        assert alloc.ensure(1, 10)
+        alloc.release(1)
+        with pytest.raises(SanitizeError, match="double free"):
+            alloc.release(1)
+
+    def test_realloc_after_free_is_fine(self):
+        alloc = self._armed()
+        assert alloc.ensure(1, 10)
+        alloc.release(1)
+        assert alloc.ensure(1, 10)
+        alloc.release(1)
+        alloc.audit_drained()
+
+    def test_double_admission_raises(self):
+        alloc = self._armed()
+        alloc.notify_admitted(1)
+        with pytest.raises(SanitizeError, match="already live"):
+            alloc.notify_admitted(1)
+
+    def test_counter_drift_caught_by_audit(self):
+        alloc = self._armed()
+        assert alloc.ensure(1, 10)
+        alloc._used_blocks += 1  # inject drift
+        with pytest.raises(SanitizeError, match="used_blocks counter"):
+            alloc.audit()
+
+    def test_token_overrun_caught(self):
+        alloc = self._armed()
+        assert alloc.ensure(1, 10)
+        alloc._used_tokens[1] = 999  # more tokens than blocks back
+        with pytest.raises(SanitizeError, match="accounts"):
+            alloc.audit()
+
+    def test_leak_at_drain_caught(self):
+        alloc = self._armed()
+        assert alloc.ensure(1, 10)
+        with pytest.raises(SanitizeError, match="still hold"):
+            alloc.audit_drained()
+
+    def _warm_prefix(self):
+        alloc = PrefixCachingAllocator(64, 4, sanitize=True)
+        ids = tuple(range(12))
+        alloc.notify_admitted(1)
+        assert alloc.ensure(1, len(ids))
+        alloc.release(1, token_ids=ids)  # commits 3 blocks
+        alloc.notify_admitted(2)
+        assert alloc.match_and_lock(2, ids) == 8
+        return alloc, ids
+
+    def test_refcount_decrement_caught(self):
+        alloc, ids = self._warm_prefix()
+        node = next(iter(alloc.cache._root.children.values()))
+        node.ref -= 1  # inject refcount corruption
+        with pytest.raises(SanitizeError):
+            alloc.audit()
+
+    def test_referenced_tally_drift_caught(self):
+        alloc, _ = self._warm_prefix()
+        alloc.cache._n_referenced += 1
+        with pytest.raises(SanitizeError):
+            alloc.audit()
+
+    def test_tree_rewiring_caught(self):
+        alloc, _ = self._warm_prefix()
+        node = next(iter(alloc.cache._root.children.values()))
+        node.tokens = tuple(t + 1 for t in node.tokens)  # hash mismatch
+        with pytest.raises(SanitizeError, match="hash-chain"):
+            alloc.audit()
+
+    def test_lock_leak_at_drain_caught(self):
+        alloc, _ = self._warm_prefix()
+        with pytest.raises(SanitizeError, match="still lock"):
+            alloc.audit_drained()
+
+    def test_clean_prefix_lifecycle_audits_green(self):
+        alloc, ids = self._warm_prefix()
+        alloc.audit()  # mid-run: live locks are fine for audit()
+        alloc.release(2, token_ids=ids)
+        alloc.audit_drained()  # warm tree, no live owners: green
+        assert alloc.cache.n_blocks > 0
+
+
+#: (name, corrupt(alloc) -> None) pairs the property test draws from.
+_CORRUPTIONS = [
+    ("double_free", lambda a, o: (a.release(o), a.release(o))),
+    ("counter_up", lambda a, o: setattr(a, "_used_blocks",
+                                        a._used_blocks + 1)),
+    ("counter_down", lambda a, o: setattr(a, "_used_blocks",
+                                          a._used_blocks - 1)),
+    ("token_overrun", lambda a, o: a._used_tokens.__setitem__(o, 10_000)),
+    ("phantom_hold", lambda a, o: a._held.__setitem__(99_999, 0)),
+]
+
+
+class TestPropertySanitizer:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**16), n_owners=st.integers(2, 12),
+           kind=st.integers(0, len(_CORRUPTIONS) - 1))
+    def test_random_workload_then_corruption_always_raises(
+            self, seed, n_owners, kind):
+        rng = np.random.default_rng(seed)
+        alloc = PagedKVAllocator(total_blocks=64, block_tokens=4,
+                                 sanitize=True)
+        live = []
+        for owner in range(n_owners):
+            if alloc.ensure(owner, int(rng.integers(1, 40))):
+                live.append(owner)
+        for owner in list(live):
+            if rng.random() < 0.5:
+                alloc.release(owner)
+                live.remove(owner)
+        alloc.audit()  # uncorrupted state must audit green
+        victim = live[0] if live else None
+        name, corrupt = _CORRUPTIONS[kind]
+        if victim is None and name in ("double_free", "token_overrun"):
+            return  # these need a live owner to corrupt
+        with pytest.raises(SanitizeError):
+            corrupt(alloc, victim)
+            alloc.audit()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_random_workload_uncorrupted_audits_green(self, seed):
+        rng = np.random.default_rng(seed)
+        alloc = PagedKVAllocator(total_blocks=64, block_tokens=4,
+                                 sanitize=True)
+        for op in range(60):
+            owner = int(rng.integers(0, 8))
+            if rng.random() < 0.6:
+                alloc.ensure(owner, int(rng.integers(1, 30)))
+            elif alloc.holds(owner):
+                alloc.release(owner)
+        alloc.audit()

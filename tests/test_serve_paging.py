@@ -16,6 +16,7 @@ import pytest
 from repro.llm.config import llama_7b
 from repro.serve.paging import PagedKVAllocator
 from repro.serve.requests import Request
+from repro.serve.sanitize import SanitizeError
 from repro.serve.scheduler import (
     BatchPlan,
     ContinuousBatchScheduler,
@@ -88,7 +89,14 @@ class TestPagedKVAllocator:
         assert alloc.holds(0) == 3
         assert alloc.release(1) == 5
         assert alloc.used_blocks == 3 and alloc.free_blocks == 7
-        assert alloc.holds(1) == 0 and alloc.release(1) == 0
+        assert alloc.holds(1) == 0
+        if alloc.sanitize:
+            # Sanitize mode promotes the lenient no-op into the
+            # double-free it usually is.
+            with pytest.raises(SanitizeError):
+                alloc.release(1)
+        else:
+            assert alloc.release(1) == 0
 
     def test_failed_ensure_allocates_nothing(self):
         alloc = PagedKVAllocator(total_blocks=4, block_tokens=4)
