@@ -8,7 +8,7 @@ orchestrator end to end and *starts the perf-trajectory convention*:
    paged, paged+prefix) on a sessionized chat trace at a tight 1 GB KV
    budget — in parallel worker processes;
 2. persist every trial (config, metrics, wall time, git SHA) to
-   ``BENCH_<pr>.json`` (``BENCH_8.json`` for this PR) at the
+   ``BENCH_<pr>.json`` (``BENCH_10.json`` for this PR) at the
    repo root and render the markdown
    regression report next to it;
 3. re-run one grid cell and assert its metrics are *bit-identical* —

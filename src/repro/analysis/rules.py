@@ -1,4 +1,4 @@
-"""The project rule catalog (RPL001..RPL008).
+"""The project rule catalog (RPL001..RPL009).
 
 Every rule here is grounded in a bug this repo actually shipped (or
 nearly shipped) — see each rule's ``rationale``.  Rules are syntactic:
@@ -478,3 +478,51 @@ class BareRoundRule(Rule):
                     parsed, node,
                     "bare round() uses banker's rounding; pick an "
                     "explicit rounding direction")
+
+
+# ----------------------------------------------------------------------
+# RPL009 — timeline/SLO sampling code purity
+# ----------------------------------------------------------------------
+#: The windowed-telemetry modules held to the observation-only bar.
+_SAMPLING_PATHS = ("obs/timeline.py", "obs/slo.py")
+
+
+@register
+class SamplingPurityRule(Rule):
+    code = "RPL009"
+    title = ("timeline/SLO sampling code must not touch the tracer or "
+             "read the wall clock")
+    rationale = (
+        "The timeline collector's contract is bit-identity: end-of-run "
+        "metrics equal with sampling on or off, windows advancing on "
+        "simulated time only.  A Tracer record call from obs/timeline "
+        "or obs/slo (guarded or not — trace events are the simulator's "
+        "job) couples sampling to tracing state, and a wall-clock read "
+        "makes window contents machine-dependent; either breaks the "
+        "golden on/off parity tests.")
+
+    def check(self, parsed: ParsedFile,
+              ctx: AnalysisContext) -> Iterable[Finding]:
+        if not parsed.path.endswith(_SAMPLING_PATHS):
+            return
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain in _WALL_CLOCK:
+                yield self.finding(
+                    parsed, node,
+                    f"wall-clock call {chain}() in sampling code; "
+                    f"windows must advance on simulated time only")
+                continue
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _TRACER_METHODS):
+                term = _terminal(node.func.value)
+                if term is not None and term.endswith("tracer"):
+                    name = chain or node.func.attr
+                    yield self.finding(
+                        parsed, node,
+                        f"tracer record call {name}() in sampling code "
+                        f"(even guarded): the collector observes "
+                        f"schedulers; trace events belong to the "
+                        f"simulator")

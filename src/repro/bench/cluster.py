@@ -184,13 +184,15 @@ def fleet_sizing(
     policy: str = "least-kv",
     max_replicas: int = 8,
     record_trace: bool = False,
+    timeline=None,
     **replica_kwargs,
 ) -> Tuple[Optional[int], FleetReport]:
     """Smallest fleet of one mode meeting the SLO on a shared trace.
 
     ``record_trace=True`` turns on :mod:`repro.obs` timeline recording
     for each candidate fleet (the returned report carries the tracer
-    of the winning run).
+    of the winning run); ``timeline=`` threads a
+    :class:`~repro.obs.timeline.TimelineConfig` through every run.
     """
     config = config or llama_7b()
     engine = engine or ComputeEngine(spec)
@@ -200,7 +202,8 @@ def fleet_sizing(
                              engine=engine, **replica_kwargs)
 
     return size_fleet(factory, trace, slo, policy=policy,
-                      max_replicas=max_replicas, record_trace=record_trace)
+                      max_replicas=max_replicas, record_trace=record_trace,
+                      timeline=timeline)
 
 
 def fleet_sizing_comparison(
@@ -220,6 +223,7 @@ def fleet_sizing_comparison(
     engine: Optional[ComputeEngine] = None,
     reports: Optional[Dict[str, Tuple[Optional[int], FleetReport]]] = None,
     trace: bool = False,
+    timeline=None,
     **replica_kwargs,
 ) -> ExperimentResult:
     """Headline comparison: GPUs each mode needs to meet the SLO.
@@ -247,7 +251,7 @@ def fleet_sizing_comparison(
                                  config=config, engine=engine, policy=policy,
                                  max_replicas=max_replicas,
                                  tp_degree=tp_degree, record_trace=trace,
-                                 **replica_kwargs)
+                                 timeline=timeline, **replica_kwargs)
         sizes[mode] = n
         if reports is not None:
             reports[mode] = (n, report)
@@ -281,6 +285,7 @@ def routing_comparison(
     engine: Optional[ComputeEngine] = None,
     reports: Optional[Dict[str, FleetReport]] = None,
     trace: bool = False,
+    timeline=None,
     **replica_kwargs,
 ) -> ExperimentResult:
     """Routing policies on one sessionized trace with prefix caching.
@@ -313,7 +318,8 @@ def routing_comparison(
                              config=FleetConfig(
                                  policy=policy,
                                  name=f"{mode}/{policy}",
-                                 trace=trace)).run(shared_trace)
+                                 trace=trace,
+                                 timeline=timeline)).run(shared_trace)
         reports[policy] = rep
         result.add_row(policy, rep.throughput_rps, rep.ttft_s(50) * 1e3,
                        rep.ttft_s(95) * 1e3, rep.prefix_hit_rate,
@@ -376,6 +382,21 @@ def run(argv: Optional[Sequence[str]] = None,
                              "(open at ui.perfetto.dev; summarize with "
                              "python -m repro.obs.report; ignored by "
                              "--experiment tp, which runs no simulation)")
+    parser.add_argument("--timeline-out", default=None, metavar="PATH",
+                        help="sample windowed per-replica telemetry and "
+                             "write a Perfetto trace with counter tracks "
+                             "here (implies trace recording; dashboard "
+                             "via python -m repro.obs.report --dashboard; "
+                             "ignored by --experiment tp)")
+    parser.add_argument("--timeline-window", type=float, default=0.25,
+                        metavar="S",
+                        help="timeline sampling window in simulated "
+                             "seconds (with --timeline-out)")
+    parser.add_argument("--slo-ttft-ms", type=float, default=None,
+                        metavar="MS",
+                        help="per-request TTFT limit for SLO burn-rate "
+                             "accounting on the timeline (with "
+                             "--timeline-out)")
     parser.add_argument("--rate", type=float, default=24.0,
                         help="offered arrival rate, requests/s")
     parser.add_argument("--requests", type=int, default=96,
@@ -428,6 +449,14 @@ def run(argv: Optional[Sequence[str]] = None,
     spec = get_spec(args.gpu)
     config = llama_7b()
     engine = ComputeEngine(spec)
+    timeline = None
+    if args.timeline_out is not None:
+        from repro.obs.timeline import TimelineConfig
+        timeline = TimelineConfig(
+            window_s=args.timeline_window,
+            slo_ttft_s=(args.slo_ttft_ms / 1e3
+                        if args.slo_ttft_ms is not None else None))
+    record = args.trace_out is not None or timeline is not None
     reports = reports if reports is not None else {}
     if args.experiment == "tp":
         table = tp_scaling(spec=spec, config=config, mode=args.modes[0],
@@ -442,7 +471,7 @@ def run(argv: Optional[Sequence[str]] = None,
             output_mean=args.output_mean, trace_kind=trace_kind,
             seed=args.seed, engine=engine,
             block_tokens=args.block_tokens, reports=reports,
-            trace=args.trace_out is not None, sanitize=args.sanitize)
+            trace=record, timeline=timeline, sanitize=args.sanitize)
     else:
         table = fleet_sizing_comparison(
             spec=spec, config=config, modes=args.modes,
@@ -454,7 +483,7 @@ def run(argv: Optional[Sequence[str]] = None,
             max_replicas=args.max_replicas, engine=engine,
             admission=admission, block_tokens=args.block_tokens,
             prefix_caching=args.prefix_caching, reports=reports,
-            trace=args.trace_out is not None, sanitize=args.sanitize)
+            trace=record, timeline=timeline, sanitize=args.sanitize)
     if args.verbose:
         for value in reports.values():
             rep = value[1] if isinstance(value, tuple) else value
@@ -462,21 +491,25 @@ def run(argv: Optional[Sequence[str]] = None,
             print(rep.summary())
         print()
     print(table)
-    if args.trace_out:
+    if args.trace_out or args.timeline_out:
         if args.experiment == "tp":
-            print("--trace-out ignored: --experiment tp prices kernels "
-                  "analytically and runs no simulation")
+            print("--trace-out/--timeline-out ignored: --experiment tp "
+                  "prices kernels analytically and runs no simulation")
         else:
             from repro.obs import write_perfetto
-            tracers = {}
+            tracers, timelines, slos = {}, {}, {}
             for key, value in reports.items():
                 rep = value[1] if isinstance(value, tuple) else value
                 if getattr(rep, "tracer", None) is not None:
                     tracers[str(key)] = rep.tracer
-            write_perfetto(args.trace_out, tracers, name="bench.cluster")
-            print(f"wrote Perfetto trace: {args.trace_out} "
-                  f"({len(tracers)} runs; open at ui.perfetto.dev or run "
-                  f"python -m repro.obs.report {args.trace_out})")
+                    timelines[str(key)] = getattr(rep, "timeline", None)
+                    slos[str(key)] = getattr(rep, "slo", None)
+            for path in filter(None, {args.trace_out, args.timeline_out}):
+                write_perfetto(path, tracers, name="bench.cluster",
+                               timelines=timelines, slo=slos)
+                print(f"wrote Perfetto trace: {path} "
+                      f"({len(tracers)} runs; open at ui.perfetto.dev or "
+                      f"run python -m repro.obs.report {path})")
     return table
 
 

@@ -59,8 +59,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 SCHEMA_VERSION = 1
 
 #: The PR this checkout's trajectory file belongs to: this PR's run
-#: persists ``BENCH_8.json`` and diffs it against ``BENCH_7.json``.
-PR_NUMBER = 8
+#: persists ``BENCH_10.json`` and diffs it against ``BENCH_8.json``.
+PR_NUMBER = 10
 
 #: Trial kinds the runner understands.
 TRIAL_KINDS = ("serving", "fleet")
@@ -377,15 +377,23 @@ class TrialResult:
 
 
 def run_trial(spec: TrialSpec,
-              trace_path: Optional[Path] = None) -> TrialResult:
+              trace_path: Optional[Path] = None,
+              timeline_path: Optional[Path] = None) -> TrialResult:
     """Execute one grid cell and return its metric payload.
 
     ``trace_path`` turns on :mod:`repro.obs` timeline recording for
     the trial and writes the Chrome/Perfetto ``trace_event`` JSON
-    there.  Tracing is observation-only — the metric payload is
-    bit-identical with or without it.
+    there.  ``timeline_path`` additionally samples windowed time
+    series (:class:`repro.obs.timeline.TimelineCollector`) and writes
+    the :meth:`~repro.obs.timeline.Timeline.to_json` document there.
+    Both are observation-only — the metric payload is bit-identical
+    with or without them.
     """
     start = time.perf_counter()
+    timeline_cfg = None
+    if timeline_path is not None:
+        from repro.obs.timeline import TimelineConfig
+        timeline_cfg = TimelineConfig(slo_ttft_s=spec.slo_ttft_s)
     if spec.kind == "serving":
         from repro.bench.serving import simulate_mode
         from repro.gpu.spec import get_spec
@@ -398,7 +406,7 @@ def run_trial(spec: TrialSpec,
             seed=spec.trial_seed, trace_kind=spec.trace_kind,
             admission=spec.admission, block_tokens=spec.block_tokens,
             prefix_caching=spec.prefix_caching,
-            trace=trace_path is not None)
+            trace=trace_path is not None, timeline=timeline_cfg)
         metrics = report.metrics()
     else:
         from repro.bench.cluster import make_replicas
@@ -418,23 +426,34 @@ def run_trial(spec: TrialSpec,
         report = FleetSimulator(
             replicas, config=FleetConfig(
                 policy=spec.policy, name=spec.trial_id,
-                trace=trace_path is not None)).run(trace)
+                trace=trace_path is not None,
+                timeline=timeline_cfg)).run(trace)
         slo = (SLO(ttft_s=spec.slo_ttft_s)
                if spec.slo_ttft_s is not None else None)
         metrics = report.metrics(slo)
     if trace_path is not None and report.tracer is not None:
         from repro.obs import write_perfetto
         write_perfetto(trace_path, report.tracer, name=spec.trial_id)
+    if timeline_path is not None and report.timeline is not None:
+        doc = {"trial_id": spec.trial_id,
+               "timeline": report.timeline.to_json()}
+        if report.slo is not None:
+            doc["slo"] = report.slo.to_json()
+        timeline_path.write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return TrialResult(spec=spec, metrics=metrics,
                        wall_time_s=time.perf_counter() - start)
 
 
-def _run_trial_payload(payload: Tuple[dict, Optional[str]]) -> dict:
+def _run_trial_payload(
+        payload: Tuple[dict, Optional[str], Optional[str]]) -> dict:
     """Worker-process entry point (module-level so it pickles)."""
-    spec_dict, trace_path = payload
-    return run_trial(TrialSpec.from_dict(spec_dict),
-                     trace_path=Path(trace_path) if trace_path else None
-                     ).to_dict()
+    spec_dict, trace_path, timeline_path = payload
+    return run_trial(
+        TrialSpec.from_dict(spec_dict),
+        trace_path=Path(trace_path) if trace_path else None,
+        timeline_path=Path(timeline_path) if timeline_path else None,
+    ).to_dict()
 
 
 def _warm_sample_cache(specs: Sequence[TrialSpec]) -> None:
@@ -461,11 +480,21 @@ def _trial_trace_path(trace_dir: Optional[Path],
     return trace_dir / f"{spec.trial_id.replace('/', '__')}.perfetto.json"
 
 
+def _trial_timeline_path(timeline_dir: Optional[Path],
+                         spec: TrialSpec) -> Optional[Path]:
+    """Per-trial timeline-series path under ``timeline_dir``."""
+    if timeline_dir is None:
+        return None
+    return (timeline_dir
+            / f"{spec.trial_id.replace('/', '__')}.timeline.json")
+
+
 def run_sweep(
     config: SweepConfig,
     workers: int = 1,
     progress: Optional[Callable[[str], None]] = None,
     trace_dir: Optional[Path] = None,
+    timeline_dir: Optional[Path] = None,
 ) -> "Trajectory":
     """Run every trial of a sweep; returns the unsaved trajectory.
 
@@ -473,8 +502,9 @@ def run_sweep(
     each trial derives its trace from :attr:`TrialSpec.trial_seed`,
     and results are collected in grid order, so the persisted
     trajectory is identical for any worker count.  ``trace_dir``
-    records one Perfetto timeline per trial under that directory
-    (observation-only: the trajectory metrics do not move).
+    records one Perfetto timeline per trial under that directory;
+    ``timeline_dir`` records one windowed time-series document per
+    trial (both observation-only: the trajectory metrics do not move).
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -483,8 +513,9 @@ def run_sweep(
     results: List[TrialResult] = []
     if workers == 1:
         for i, spec in enumerate(specs):
-            result = run_trial(spec,
-                               trace_path=_trial_trace_path(trace_dir, spec))
+            result = run_trial(
+                spec, trace_path=_trial_trace_path(trace_dir, spec),
+                timeline_path=_trial_timeline_path(timeline_dir, spec))
             results.append(result)
             if progress:
                 progress(f"[{i + 1}/{len(specs)}] {result.trial_id}: "
@@ -493,8 +524,10 @@ def run_sweep(
         payloads = []
         for spec in specs:
             path = _trial_trace_path(trace_dir, spec)
+            tl_path = _trial_timeline_path(timeline_dir, spec)
             payloads.append((spec.to_dict(),
-                             str(path) if path is not None else None))
+                             str(path) if path is not None else None,
+                             str(tl_path) if tl_path is not None else None))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             # map() preserves submission order, which is grid order.
             for i, data in enumerate(pool.map(_run_trial_payload, payloads)):
@@ -915,6 +948,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="record one Perfetto timeline per trial "
                              "into this directory (created if missing); "
                              "observation-only, metrics do not move")
+    parser.add_argument("--timeline-dir", type=Path, default=None,
+                        help="record one windowed time-series document "
+                             "(Timeline.to_json, plus the SLO report when "
+                             "the sweep sets slo_ttft_s) per trial into "
+                             "this directory (created if missing); "
+                             "observation-only, metrics do not move")
     parser.add_argument("--tolerance", type=float, default=0.05,
                         help="relative regression tolerance (default 5%%)")
     parser.add_argument("--check", action="store_true",
@@ -932,8 +971,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.trace_dir is not None:
         args.trace_dir.mkdir(parents=True, exist_ok=True)
         print(f"traces     -> {args.trace_dir}/<trial_id>.perfetto.json")
+    if args.timeline_dir is not None:
+        args.timeline_dir.mkdir(parents=True, exist_ok=True)
+        print(f"timelines  -> {args.timeline_dir}/"
+              f"<trial_id>.timeline.json")
     trajectory = run_sweep(config, workers=args.workers, progress=print,
-                           trace_dir=args.trace_dir)
+                           trace_dir=args.trace_dir,
+                           timeline_dir=args.timeline_dir)
     trajectory.save(out)
     print(f"trajectory -> {out}")
 

@@ -38,6 +38,7 @@ from repro.bench.workloads import attention_sample, weight_sample
 from repro.core.engine import ComputeEngine
 from repro.gpu.spec import GPUSpec, RTX4090, get_spec
 from repro.llm.config import LlamaConfig, llama_7b
+from repro.obs.timeline import TimelineConfig
 from repro.serve.api import SchedulerConfig, SimConfig
 from repro.serve.costs import StepCostModel
 from repro.serve.requests import (
@@ -190,6 +191,7 @@ def simulate_mode(
     block_tokens: int = 16,
     prefix_caching: bool = False,
     trace: bool = False,
+    timeline: Optional[TimelineConfig] = None,
     sanitize: bool = False,
 ) -> ServingReport:
     """Simulate one serving mode on an open-loop trace.
@@ -204,8 +206,11 @@ def simulate_mode(
     (``shared_prefix`` / ``chat``) or every lookup misses.
     ``trace=True`` records a :mod:`repro.obs` timeline on the returned
     report's ``tracer`` (metrics are bit-identical either way).
-    ``sanitize=True`` arms the allocator invariant checks of
-    :mod:`repro.serve.sanitize` (also bit-identical on metrics).
+    ``timeline=TimelineConfig(...)`` additionally samples windowed
+    time-series telemetry (and, with SLO limits set, burn-rate alerts)
+    onto the report's ``timeline`` / ``slo`` — same bit-identity
+    contract.  ``sanitize=True`` arms the allocator invariant checks
+    of :mod:`repro.serve.sanitize` (also bit-identical on metrics).
     """
     config = config or llama_7b()
     engine = engine or ComputeEngine(spec)
@@ -225,7 +230,7 @@ def simulate_mode(
                                   block_tokens=block_tokens,
                                   prefix_caching=prefix_caching,
                                   sanitize=sanitize),
-        name=name, trace=trace)
+        name=name, trace=trace, timeline=timeline)
     cost_model = make_cost_model(engine, config, mode)
     return sim_config.build(budget, cost_model).run(requests)
 
@@ -429,6 +434,20 @@ def run(argv: Optional[Sequence[str]] = None,
                              "Chrome/Perfetto trace_event JSON here "
                              "(open at ui.perfetto.dev; summarize with "
                              "python -m repro.obs.report)")
+    parser.add_argument("--timeline-out", default=None, metavar="PATH",
+                        help="sample windowed time-series telemetry and "
+                             "write a Perfetto trace with counter tracks "
+                             "here (implies trace recording; dashboard "
+                             "via python -m repro.obs.report --dashboard)")
+    parser.add_argument("--timeline-window", type=float, default=0.25,
+                        metavar="S",
+                        help="timeline sampling window in simulated "
+                             "seconds (with --timeline-out)")
+    parser.add_argument("--slo-ttft-ms", type=float, default=None,
+                        metavar="MS",
+                        help="per-request TTFT limit for SLO burn-rate "
+                             "accounting on the timeline (with "
+                             "--timeline-out)")
     parser.add_argument("--rate", type=float, default=16.0,
                         help="offered arrival rate, requests/s")
     parser.add_argument("--requests", type=int, default=64,
@@ -475,13 +494,20 @@ def run(argv: Optional[Sequence[str]] = None,
     spec = get_spec(args.gpu)
     config = llama_7b()
     engine = ComputeEngine(spec)
+    timeline = None
+    if args.timeline_out is not None:
+        timeline = TimelineConfig(
+            window_s=args.timeline_window,
+            slo_ttft_s=(args.slo_ttft_ms / 1e3
+                        if args.slo_ttft_ms is not None else None))
     workload = dict(
         kv_hbm_gb=args.kv_gb, rate_rps=args.rate, n_requests=args.requests,
         prompt_mean=args.prompt_mean, output_mean=args.output_mean,
         token_budget=args.token_budget, max_seqs=args.max_seqs,
         seed=args.seed,
         block_tokens=args.block_tokens,
-        trace=args.trace_out is not None,
+        trace=args.trace_out is not None or timeline is not None,
+        timeline=timeline,
         sanitize=args.sanitize,
     )
     stats = trace_stats(make_trace(trace_kind, args.rate, args.requests,
@@ -513,14 +539,18 @@ def run(argv: Optional[Sequence[str]] = None,
             print(rep.summary())
         print()
     print(table)
-    if args.trace_out:
+    if args.trace_out or args.timeline_out:
         from repro.obs import write_perfetto
         tracers = {key: rep.tracer for key, rep in reports.items()
                    if rep.tracer is not None}
-        write_perfetto(args.trace_out, tracers, name="bench.serving")
-        print(f"wrote Perfetto trace: {args.trace_out} "
-              f"({len(tracers)} runs; open at ui.perfetto.dev or run "
-              f"python -m repro.obs.report {args.trace_out})")
+        timelines = {key: rep.timeline for key, rep in reports.items()}
+        slos = {key: rep.slo for key, rep in reports.items()}
+        for path in filter(None, {args.trace_out, args.timeline_out}):
+            write_perfetto(path, tracers, name="bench.serving",
+                           timelines=timelines, slo=slos)
+            print(f"wrote Perfetto trace: {path} "
+                  f"({len(tracers)} runs; open at ui.perfetto.dev or run "
+                  f"python -m repro.obs.report {path})")
     return table
 
 

@@ -51,10 +51,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOMonitor
+from repro.obs.timeline import TimelineCollector
 from repro.obs.trace import EVT_EVICTED, EVT_REJECTED, NULL_TRACER, Tracer
 from repro.serve.api import FleetConfig
 from repro.serve.costs import StepCostModel
-from repro.serve.events import ARRIVAL, STEP, EventLoop, EventStats
+from repro.serve.events import ARRIVAL, SAMPLE, STEP, EventLoop, EventStats
 from repro.serve.requests import Request
 from repro.serve.scheduler import ContinuousBatchScheduler
 from repro.serve.simulator import (RequestRecord, observe_request_metrics,
@@ -153,8 +155,13 @@ class Replica:
         self.scheduler.submit(request)
         self.n_submitted += 1
 
-    def step(self) -> None:
-        """Run one scheduler iteration and advance the clock."""
+    def step(self) -> list:
+        """Run one scheduler iteration and advance the clock.
+
+        Returns the sequences that completed this iteration (also
+        appended to :attr:`finished`), so the fleet driver can feed
+        per-window telemetry without diffing the list.
+        """
         plan = self.scheduler.schedule(self.now_s)
         if plan.empty:  # pragma: no cover - has_work implies a plan
             # Fail loudly: returning would spin advance_to/run forever.
@@ -175,7 +182,9 @@ class Replica:
                 tracer.event(EVT_EVICTED, t0, self.replica_id, -1,
                              evicted - self._last_evicted)
                 self._last_evicted = evicted
-        self.finished.extend(self.scheduler.complete(plan, self.now_s))
+        done = self.scheduler.complete(plan, self.now_s)
+        self.finished.extend(done)
+        return done
 
     def advance_to(self, t_s: float) -> None:
         """Run iterations until the clock reaches ``t_s`` or work runs out.
@@ -377,6 +386,13 @@ class FleetReport:
     #: The run's :class:`~repro.obs.trace.Tracer` when the fleet ran
     #: with ``FleetConfig(trace=True)``, else ``None``.
     tracer: Optional[object] = None
+    #: The run's per-replica :class:`~repro.obs.timeline.Timeline` when
+    #: it ran with ``FleetConfig(timeline=...)``, else ``None``.  Never
+    #: merged into :meth:`metrics` (bit-identity contract).
+    timeline: Optional[object] = None
+    #: Evaluated :class:`~repro.obs.slo.SLOReport` over the fleet-merged
+    #: windows when the timeline config carried SLO limits.
+    slo: Optional[object] = None
 
     def __post_init__(self):
         converted, warned = [], False
@@ -536,6 +552,9 @@ class FleetReport:
         if self.n_rejected:
             lines.append(f"  rejected   : {self.n_rejected} requests "
                          "exceeded every replica's KV budget")
+        if self.slo is not None:
+            lines.extend("  " + ln for ln in
+                         self.slo.summary().splitlines())
         return "\n".join(lines)
 
 
@@ -604,6 +623,14 @@ class FleetSimulator:
         loop = EventLoop()
         for req in pending:
             loop.push(req.arrival_s, ARRIVAL, req)
+        timeline = (TimelineCollector(self.config.timeline,
+                                      n_replicas=len(replicas),
+                                      name=self.name)
+                    if self.config.timeline is not None else None)
+        schedulers = tuple(rep.scheduler for rep in replicas)
+        arrivals_left = len(pending)
+        if timeline is not None:
+            loop.push(timeline.next_sample_s, SAMPLE, None)
         #: Whether replica i currently owns a STEP event in the heap
         #: (exactly one while it has work; entries never go stale
         #: because only step() moves a busy replica's clock).
@@ -614,6 +641,14 @@ class FleetSimulator:
 
         while not loop.empty:
             t_s, kind, payload = loop.pop()
+            if kind == SAMPLE:
+                # Telemetry boundary: read every replica's state, keep
+                # sampling while the run can still produce events (the
+                # heap would otherwise never drain).
+                timeline.sample(t_s, schedulers)
+                if arrivals_left or any(in_heap):
+                    loop.push(timeline.next_sample_s, SAMPLE, None)
+                continue
             if kind == STEP:
                 idx = payload
                 rep = replicas[idx]
@@ -623,13 +658,16 @@ class FleetSimulator:
                         f"replica {rep.replica_id} exceeded "
                         f"{max_iterations} iterations; the offered load "
                         "likely diverges")
-                rep.step()
+                done = rep.step()
+                if timeline is not None and done:
+                    timeline.on_complete(idx, done, rep.now_s)
                 if rep.has_work:
                     loop.push(rep.now_s, STEP, idx)
                 else:
                     in_heap[idx] = False
                 continue
             req = payload
+            arrivals_left -= 1
             candidates = [i for i, rep in enumerate(replicas)
                           if rep.scheduler.fits(req)]
             if not candidates:
@@ -638,6 +676,10 @@ class FleetSimulator:
                     # No replica could ever hold it; pin to track 0.
                     tracer.event(EVT_REJECTED, req.arrival_s, 0,
                                  req.req_id)
+                if timeline is not None:
+                    # Rejections happen at the front end, before
+                    # routing; pin to replica 0 like the trace does.
+                    timeline.on_reject(0)
                 continue
             idx = self.policy.choose(req, replicas, candidates)
             if idx not in candidates:
@@ -646,6 +688,8 @@ class FleetSimulator:
                     f"not one of the feasible {candidates}")
             replicas[idx].submit(req)
             assignments[req.req_id] = idx
+            if timeline is not None:
+                timeline.on_arrival(idx)
             if not in_heap[idx]:
                 loop.push(replicas[idx].now_s, STEP, idx)
                 in_heap[idx] = True
@@ -687,13 +731,21 @@ class FleetSimulator:
             if getattr(rep.scheduler, "prefix_caching", False)
             and (stats := rep.scheduler.prefix_stats()) is not None
         ]
+        makespan_s = max(rep.now_s for rep in replicas)
+        timeline_obj = slo_report = None
+        if timeline is not None:
+            timeline_obj = timeline.finalize(makespan_s, schedulers)
+            if self.config.timeline.tracks_slo:
+                slo_report = SLOMonitor(
+                    target=self.config.timeline.slo_target,
+                ).evaluate(timeline_obj)
         return FleetReport(
             name=self.name,
             policy=self.policy.name,
             n_replicas=len(replicas),
             records=records,
             assignments=assignments,
-            makespan_s=max(rep.now_s for rep in replicas),
+            makespan_s=makespan_s,
             replica_stats=[ReplicaStats(rep.n_submitted, rep.iterations,
                                         rep.peak_kv,
                                         rep.scheduler.n_preemptions)
@@ -708,6 +760,8 @@ class FleetSimulator:
             event_stats=loop.stats,
             registry=registry,
             tracer=tracer if tracer.enabled else None,
+            timeline=timeline_obj,
+            slo=slo_report,
         )
 
 
@@ -718,6 +772,7 @@ def size_fleet(
     policy: Union[str, RouterPolicy] = "jsq",
     max_replicas: int = 8,
     record_trace: bool = False,
+    timeline=None,
 ) -> tuple:
     """Smallest fleet meeting an SLO at the trace's offered load.
 
@@ -727,7 +782,8 @@ def size_fleet(
     report if even ``max_replicas`` misses the SLO.  String policies
     are re-instantiated per size so stateful routers start clean.
     ``record_trace=True`` records a :mod:`repro.obs` timeline per tried
-    size (each report carries its own tracer).
+    size (each report carries its own tracer); ``timeline=`` passes a
+    :class:`~repro.obs.timeline.TimelineConfig` through to each run.
     """
     if max_replicas < 1:
         raise ValueError("max_replicas must be >= 1")
@@ -737,7 +793,8 @@ def size_fleet(
             make_replicas(n),
             config=FleetConfig(policy=make_policy(policy)
                                if isinstance(policy, str) else policy,
-                               name=f"fleet-{n}", trace=record_trace))
+                               name=f"fleet-{n}", trace=record_trace,
+                               timeline=timeline))
         report = sim.run(trace)
         if report.meets(slo):
             return n, report

@@ -13,7 +13,8 @@ implements ``emit_metrics(registry, **labels)`` (see
 - :meth:`MetricsRegistry.to_flat_dict` — plain ``{name: number}``,
   merged into ``ServingReport.metrics()`` / ``FleetReport.metrics()``
   and thence into the ``BENCH_<pr>.json`` perf trajectory (histograms
-  contribute ``<name>_count`` / ``<name>_sum``);
+  contribute ``<name>_count`` / ``<name>_sum`` plus interpolated
+  ``<name>_p50`` / ``<name>_p95`` / ``<name>_p99`` estimates);
 - :meth:`MetricsRegistry.to_prometheus` — Prometheus text exposition
   format, for eyeballs and for scraping if the simulator ever runs
   behind a real endpoint.
@@ -169,10 +170,45 @@ class Histogram:
         out.append((self.name + "_count", self.labels, self.total))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from buckets.
+
+        Finds the first bucket whose cumulative count reaches the
+        target rank, then interpolates *geometrically* within it —
+        the natural interpolation for log-spaced bucket bounds (linear
+        interpolation in log space).  The first bucket has no positive
+        lower bound, so it interpolates linearly from 0; ranks landing
+        in the overflow bucket clamp to the last boundary (the largest
+        value the histogram can still localise).  Empty histograms
+        estimate 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        running = 0
+        for i, count in enumerate(self.counts):
+            running += count
+            if running >= rank and count:
+                if i == len(self.boundaries):
+                    return self.boundaries[-1]
+                upper = self.boundaries[i]
+                # Fraction of this bucket's count below the rank.
+                frac = (rank - (running - count)) / count
+                lower = self.boundaries[i - 1] if i else 0.0
+                if lower <= 0.0:
+                    return upper * frac
+                return lower * (upper / lower) ** frac
+        return self.boundaries[-1]  # pragma: no cover - rank <= total
+
     def flat(self) -> Dict[str, float]:
         suffix = _label_suffix(self.labels)
-        return {self.name + "_count" + suffix: self.total,
-                self.name + "_sum" + suffix: self.sum}
+        out = {self.name + "_count" + suffix: self.total,
+               self.name + "_sum" + suffix: self.sum}
+        for q, tag in ((0.5, "_p50"), (0.95, "_p95"), (0.99, "_p99")):
+            out[self.name + tag + suffix] = self.quantile(q)
+        return out
 
 
 class MetricsRegistry:
@@ -227,9 +263,11 @@ class MetricsRegistry:
 
         This is what report ``metrics()`` dicts merge (and the perf
         trajectory persists): counters and gauges by full name,
-        histograms as ``<name>_count`` / ``<name>_sum`` (per-bucket
-        detail stays in :meth:`to_prometheus`, where the format can
-        carry it without exploding the trajectory's key space).
+        histograms as ``<name>_count`` / ``<name>_sum`` plus the
+        interpolated ``<name>_p50`` / ``<name>_p95`` / ``<name>_p99``
+        quantile estimates (full per-bucket detail stays in
+        :meth:`to_prometheus`, where the format can carry it without
+        exploding the trajectory's key space).
         """
         out: Dict[str, float] = {}
         for metric in self:

@@ -3,11 +3,16 @@
 The output follows the JSON Object Format of the Trace Event spec (the
 one ``ui.perfetto.dev`` and ``chrome://tracing`` both load): a
 top-level object with a ``traceEvents`` array of phase-tagged events.
-We emit three phases:
+We emit four phases:
 
 - ``"M"`` metadata naming processes and threads,
 - ``"X"`` complete events (a span with ``ts`` + ``dur``, microseconds),
-- ``"i"`` instant events for point occurrences.
+- ``"i"`` instant events for point occurrences,
+- ``"C"`` counter events: one track per timeline series per replica
+  (queue depth, running batch, KV occupancy, per-window flow rates)
+  when a :class:`~repro.obs.timeline.Timeline` is passed, plus
+  fire/clear instants for every :class:`~repro.obs.slo.SLOAlert` when
+  an :class:`~repro.obs.slo.SLOReport` is.
 
 Track layout: each replica is a *process* (``pid`` = replica id, or an
 offset per simulator when merging several tracers), ``tid 0`` is the
@@ -25,7 +30,7 @@ every timestamp is ``t_s * 1e6``.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Mapping, Union
+from typing import Dict, List, Mapping, Optional, Union
 
 from .trace import (
     EVENT_NAMES,
@@ -127,20 +132,96 @@ def _emit_tracer(events: List[dict], tracer: Tracer, label: str,
         })
 
 
+def _emit_timeline(events: List[dict], timeline, pid_base: int) -> None:
+    """One ``"C"`` counter track per series per replica.
+
+    A counter event at the window's *start* holding the window's value
+    renders as a step function over the run: Perfetto draws each value
+    until the next event, which is exactly the windowed semantics.
+    Flow counts are emitted as per-second rates so different window
+    lengths compare on one axis.
+    """
+    per_s = 1.0 / timeline.window_s
+    for rid in timeline.replica_ids:
+        pid = pid_base + rid
+        for w in timeline.windows(rid):
+            ts = w.t_start_s * 1e6
+            events.append({
+                "ph": "C", "name": "timeline", "pid": pid, "tid": 0,
+                "ts": ts,
+                "args": {
+                    "arrivals_per_s": w.arrivals * per_s,
+                    "completions_per_s": w.completions * per_s,
+                    "rejections_per_s": w.rejections * per_s,
+                    "preemptions_per_s": w.preemptions * per_s,
+                },
+            })
+            events.append({
+                "ph": "C", "name": "scheduler", "pid": pid, "tid": 0,
+                "ts": ts,
+                "args": {"queue_depth": w.queue_depth,
+                         "running": w.running},
+            })
+            events.append({
+                "ph": "C", "name": "kv_occupancy", "pid": pid, "tid": 0,
+                "ts": ts, "args": {"fraction": w.kv_occupancy},
+            })
+            if w.prefix_lookups:
+                events.append({
+                    "ph": "C", "name": "prefix_hit_rate", "pid": pid,
+                    "tid": 0, "ts": ts,
+                    "args": {"rate": w.prefix_hit_rate},
+                })
+
+
+def _emit_slo(events: List[dict], slo, pid_base: int) -> None:
+    """Global fire/clear instants (``s: "g"``) for every alert."""
+    for alert in slo.alerts:
+        events.append({
+            "ph": "i", "name": f"slo_fire[{alert.rule}]", "cat": "slo",
+            "pid": pid_base, "tid": 0, "ts": alert.fired_s * 1e6,
+            "s": "g", "args": {"peak_burn_rate": alert.peak_burn_rate},
+        })
+        if alert.cleared_s is not None:
+            events.append({
+                "ph": "i", "name": f"slo_clear[{alert.rule}]",
+                "cat": "slo", "pid": pid_base, "tid": 0,
+                "ts": alert.cleared_s * 1e6, "s": "g",
+                "args": {"peak_burn_rate": alert.peak_burn_rate},
+            })
+
+
 def to_perfetto(tracers: Union[Tracer, Mapping[str, Tracer]],
-                name: str = "repro") -> dict:
+                name: str = "repro",
+                timelines: Optional[Mapping[str, object]] = None,
+                slo: Optional[Mapping[str, object]] = None) -> dict:
     """Render tracer buffers as a ``trace_event`` JSON object.
 
     ``tracers`` is one :class:`Tracer` or a mapping of label → tracer
     (e.g. one per bench mode); merged tracers get disjoint ``pid``
     ranges so their replica tracks sit side by side in the UI.
+    ``timelines`` / ``slo`` optionally attach a
+    :class:`~repro.obs.timeline.Timeline` (→ counter tracks) and an
+    :class:`~repro.obs.slo.SLOReport` (→ fire/clear instants) per
+    label; labels must match ``tracers`` keys, and a bare
+    Timeline/SLOReport may be passed when ``tracers`` is one tracer.
     """
     if isinstance(tracers, Tracer):
-        tracers = {tracers.name: tracers}
+        label = tracers.name
+        tracers = {label: tracers}
+        if timelines is not None and not isinstance(timelines, Mapping):
+            timelines = {label: timelines}
+        if slo is not None and not isinstance(slo, Mapping):
+            slo = {label: slo}
     events: List[dict] = []
     for idx, (label, tracer) in enumerate(tracers.items()):
+        pid_base = idx * _PID_STRIDE
         _emit_tracer(events, tracer, label if len(tracers) > 1 else "",
-                     idx * _PID_STRIDE)
+                     pid_base)
+        if timelines and timelines.get(label) is not None:
+            _emit_timeline(events, timelines[label], pid_base)
+        if slo and slo.get(label) is not None:
+            _emit_slo(events, slo[label], pid_base)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -153,9 +234,11 @@ def to_perfetto(tracers: Union[Tracer, Mapping[str, Tracer]],
 
 
 def write_perfetto(path, tracers: Union[Tracer, Mapping[str, Tracer]],
-                   name: str = "repro") -> dict:
+                   name: str = "repro",
+                   timelines: Optional[Mapping[str, object]] = None,
+                   slo: Optional[Mapping[str, object]] = None) -> dict:
     """Write :func:`to_perfetto` output as JSON; returns the object."""
-    doc = to_perfetto(tracers, name=name)
+    doc = to_perfetto(tracers, name=name, timelines=timelines, slo=slo)
     with open(path, "w") as fh:
         json.dump(doc, fh)
     return doc

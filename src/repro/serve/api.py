@@ -36,6 +36,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Protocol, runtime_checkable
 
+from repro.obs.timeline import TimelineConfig
+
 __all__ = [
     "FleetConfig",
     "Report",
@@ -108,6 +110,11 @@ class SimConfig:
     #: (:mod:`repro.obs`).  Off by default: the disabled path is
     #: bit-identical and near-free.
     trace: bool = False
+    #: Sample windowed time-series telemetry over simulated time
+    #: (:class:`~repro.obs.timeline.TimelineConfig`, or ``None`` to
+    #: disable).  Same contract as tracing: reported metrics are
+    #: bit-identical on or off.
+    timeline: Optional[TimelineConfig] = None
     #: Arm allocator sanitize mode for the run (threaded down to the
     #: scheduler config; see :attr:`SchedulerConfig.sanitize`).
     sanitize: bool = False
@@ -138,6 +145,10 @@ class FleetConfig:
     #: Record per-request lifecycle and per-step timelines across all
     #: replicas (:mod:`repro.obs`); disabled path is bit-identical.
     trace: bool = False
+    #: Sample windowed per-replica time-series telemetry
+    #: (:class:`~repro.obs.timeline.TimelineConfig`, or ``None`` to
+    #: disable); reported metrics are bit-identical on or off.
+    timeline: Optional[TimelineConfig] = None
     #: Arm allocator sanitize mode on every replica (threaded down to
     #: the scheduler config; see :attr:`SchedulerConfig.sanitize`).
     sanitize: bool = False

@@ -16,13 +16,20 @@ simulated time.  Event kinds:
 - :data:`TRANSFER` — reserved for cross-replica work movement
   (prefill/decode disaggregation, the ROADMAP item this core exists
   to unlock); no current producer.
+- :data:`SAMPLE` — a periodic telemetry boundary
+  (:mod:`repro.obs.timeline`): pure observation, never simulation.
+  SAMPLE pops are counted separately (``EventStats.n_samples``) and
+  excluded from every exported counter, so a run's ``metrics()`` stays
+  bit-identical with sampling on or off.
 
 Ordering is ``(time, kind, seq)``: at equal time an ARRIVAL pops
 before a STEP, which reproduces the lockstep contract exactly — a
 replica advances only while strictly *behind* an arrival
 (``now_s < t``), and an iteration boundary landing exactly on the
-arrival instant waits until after routing.  ``seq`` is a monotone
-tiebreaker so payloads never need comparing.
+arrival instant waits until after routing.  SAMPLE sorts before both,
+so timeline windows are half-open ``[start, end)`` — an arrival landing
+exactly on a window boundary counts in the *next* window.  ``seq`` is
+a monotone tiebreaker so payloads never need comparing.
 
 Because replicas interact only through routing, popping in global time
 order is *bit-identical* to the lockstep schedule: each replica's
@@ -40,10 +47,13 @@ import heapq
 from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
-__all__ = ["ARRIVAL", "STEP", "TRANSFER", "EventLoop", "EventStats"]
+__all__ = ["ARRIVAL", "SAMPLE", "STEP", "TRANSFER", "EventLoop",
+           "EventStats"]
 
 #: Event kinds, in tie-break priority order (lower pops first at equal
-#: simulated time — see the module docstring for why ARRIVAL < STEP).
+#: simulated time — see the module docstring for why
+#: SAMPLE < ARRIVAL < STEP).
+SAMPLE = -1
 ARRIVAL = 0
 STEP = 1
 TRANSFER = 2
@@ -67,6 +77,11 @@ class EventStats:
     n_step_events: int = 0
     n_transfers: int = 0
     n_idle_polls: int = 0
+    #: Timeline SAMPLE pops.  Deliberately *not* part of ``n_events``
+    #: and never exported by :meth:`emit_metrics`: the sampling cadence
+    #: is an observability knob, and report metrics must stay
+    #: bit-identical whether a run sampled or not.
+    n_samples: int = 0
 
     def emit_metrics(self, registry, **labels) -> None:
         """Emit these counters into a
@@ -122,6 +137,10 @@ class EventLoop:
         """Remove and return the next ``(time_s, kind, payload)``."""
         time_s, kind, _, payload = heapq.heappop(self._heap)
         st = self.stats
+        if kind == SAMPLE:
+            # Observation only: excluded from every exported counter.
+            st.n_samples += 1
+            return time_s, kind, payload
         st.n_events += 1
         if kind == ARRIVAL:
             st.n_arrivals += 1

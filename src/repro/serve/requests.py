@@ -8,6 +8,11 @@ Five arrival processes are provided:
 - :func:`bursty_trace` — a two-state Markov-modulated Poisson process
   alternating between a calm and a burst rate, which is what production
   traffic looks like at minute granularity;
+- :func:`flash_crowd_trace` — a *scheduled* rate spike (calm → crowd →
+  calm at known times), the incident-shaped workload SLO burn-rate
+  alerting is exercised against: unlike :func:`bursty_trace` the
+  overload interval is deterministic, so a test can assert an alert
+  fires inside it and clears after the drain;
 - :func:`replayed_trace` — explicit timestamps and lengths, for
   replaying measured production traces;
 - :func:`shared_prefix_trace` — every request starts with the same
@@ -192,6 +197,62 @@ def bursty_trace(
     arrivals = np.asarray(arrivals) - arrivals[0]
     return _build(arrivals, prompt.sample(rng, n_requests),
                   output.sample(rng, n_requests))
+
+
+def flash_crowd_trace(
+    rate_rps: float,
+    duration_s: float,
+    crowd_factor: float = 8.0,
+    crowd_start_s: Optional[float] = None,
+    crowd_duration_s: Optional[float] = None,
+    prompt: LengthSampler = LengthSampler(mean=512),
+    output: LengthSampler = LengthSampler(mean=128),
+    seed: int = 0,
+) -> List[Request]:
+    """Piecewise-constant-rate Poisson arrivals with one flash crowd.
+
+    Arrivals run at ``rate_rps`` for ``duration_s`` seconds except
+    during ``[crowd_start_s, crowd_start_s + crowd_duration_s)``, where
+    the rate multiplies by ``crowd_factor`` (defaults: the crowd
+    occupies the middle fifth of the trace).  The piecewise process is
+    simulated by thinning a Poisson process at the peak rate, so the
+    phase boundaries are exact — the trace's overload interval is known
+    a priori, which is what lets SLO tests assert *when* an alert must
+    fire rather than just whether.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    if crowd_factor < 1:
+        raise ValueError("crowd_factor must be >= 1")
+    if crowd_start_s is None:
+        crowd_start_s = 0.4 * duration_s
+    if crowd_duration_s is None:
+        crowd_duration_s = 0.2 * duration_s
+    if not 0 <= crowd_start_s < duration_s:
+        raise ValueError("crowd_start_s must fall inside the trace")
+    if crowd_duration_s <= 0:
+        raise ValueError("crowd_duration_s must be positive")
+    rng = np.random.default_rng(seed)
+    peak = rate_rps * crowd_factor
+    crowd_end_s = min(crowd_start_s + crowd_duration_s, duration_s)
+    arrivals = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / peak))
+        if t >= duration_s:
+            break
+        in_crowd = crowd_start_s <= t < crowd_end_s
+        # Thinning: keep with probability rate(t) / peak.
+        if in_crowd or rng.random() < 1.0 / crowd_factor:
+            arrivals.append(t)
+    if not arrivals:
+        raise ValueError(
+            "trace came out empty; raise rate_rps or duration_s")
+    n = len(arrivals)
+    return _build(np.asarray(arrivals), prompt.sample(rng, n),
+                  output.sample(rng, n))
 
 
 def replayed_trace(

@@ -33,10 +33,12 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOMonitor
+from repro.obs.timeline import TimelineCollector
 from repro.obs.trace import EVT_EVICTED, EVT_REJECTED, NULL_TRACER, Tracer
 from repro.serve.api import SimConfig
 from repro.serve.costs import StepCostModel
-from repro.serve.events import ARRIVAL, EventLoop
+from repro.serve.events import ARRIVAL, SAMPLE, EventLoop
 from repro.serve.requests import Request
 from repro.serve.scheduler import ContinuousBatchScheduler, SequenceState
 
@@ -163,6 +165,14 @@ class ServingReport:
     #: The run's :class:`~repro.obs.trace.Tracer` when the simulation
     #: ran with ``SimConfig(trace=True)``, else ``None``.
     tracer: Optional[object] = None
+    #: The run's :class:`~repro.obs.timeline.Timeline` when it ran
+    #: with ``SimConfig(timeline=...)``, else ``None``.  Never merged
+    #: into :meth:`metrics` — windowed series are an observability
+    #: product, and metrics stay bit-identical with sampling on/off.
+    timeline: Optional[object] = None
+    #: Evaluated :class:`~repro.obs.slo.SLOReport` when the timeline
+    #: config carried SLO limits, else ``None``.
+    slo: Optional[object] = None
 
     # -- throughput ----------------------------------------------------
     @property
@@ -272,6 +282,9 @@ class ServingReport:
         if self.n_rejected:
             lines.append(f"  rejected   : {self.n_rejected} requests "
                          "exceeded the KV budget")
+        if self.slo is not None:
+            lines.extend("  " + ln for ln in
+                         self.slo.summary().splitlines())
         return "\n".join(lines)
 
 
@@ -320,6 +333,12 @@ class ServingSimulator:
         self.tracer = tracer
         if tracer.enabled:
             sched.tracer = tracer
+        timeline = (TimelineCollector(self.config.timeline,
+                                      n_replicas=1, name=self.name)
+                    if self.config.timeline is not None else None)
+        arrivals_left = len(pending)
+        if timeline is not None:
+            loop.push(timeline.next_sample_s, SAMPLE, None)
         finished: List[SequenceState] = []
         iterations = 0
         peak_kv = 0.0
@@ -331,7 +350,15 @@ class ServingSimulator:
                 nxt = loop.peek()
                 if nxt is None or nxt[0] > now_s:
                     break
-                _, _, req = loop.pop()
+                t_evt, kind, req = loop.pop()
+                if kind == SAMPLE:
+                    # Telemetry boundary: close the window, keep
+                    # sampling while the run can still produce events.
+                    timeline.sample(t_evt, (sched,))
+                    if arrivals_left or sched.has_work:
+                        loop.push(timeline.next_sample_s, SAMPLE, None)
+                    continue
+                arrivals_left -= 1
                 if not sched.fits(req):
                     # Could never be admitted: reject up front (a real
                     # server returns 4xx) instead of wedging the queue.
@@ -339,12 +366,26 @@ class ServingSimulator:
                     if tracer.enabled:
                         tracer.event(EVT_REJECTED, req.arrival_s, 0,
                                      req.req_id)
+                    if timeline is not None:
+                        timeline.on_reject(0)
                     continue
                 sched.submit(req)
+                if timeline is not None:
+                    timeline.on_arrival(0)
 
             plan = sched.schedule(now_s)
             if plan.empty:
                 nxt = loop.peek()
+                while nxt is not None and nxt[1] == SAMPLE:
+                    # Idle telemetry boundary: close the window without
+                    # advancing now_s — the clock only follows
+                    # simulation events, so makespan (and every other
+                    # metric) stays bit-identical with sampling on.
+                    t_evt, _, _ = loop.pop()
+                    timeline.sample(t_evt, (sched,))
+                    if arrivals_left:
+                        loop.push(timeline.next_sample_s, SAMPLE, None)
+                    nxt = loop.peek()
                 if nxt is not None:
                     # Idle: fast-forward to the next arrival.
                     now_s = max(now_s, nxt[0])
@@ -379,7 +420,10 @@ class ServingSimulator:
                     tracer.event(EVT_EVICTED, t0, 0, -1,
                                  evicted - last_evicted)
                     last_evicted = evicted
-            finished.extend(sched.complete(plan, now_s))
+            done = sched.complete(plan, now_s)
+            finished.extend(done)
+            if timeline is not None and done:
+                timeline.on_complete(0, done, now_s)
 
         alloc = getattr(sched, "allocator", None)
         if alloc is not None and alloc.sanitize:
@@ -416,6 +460,13 @@ class ServingSimulator:
                                 n_rejected=len(rejected))
         prefix = (sched.prefix_stats()
                   if getattr(sched, "prefix_caching", False) else None)
+        timeline_obj = slo_report = None
+        if timeline is not None:
+            timeline_obj = timeline.finalize(now_s, (sched,))
+            if self.config.timeline.tracks_slo:
+                slo_report = SLOMonitor(
+                    target=self.config.timeline.slo_target,
+                ).evaluate(timeline_obj)
         return ServingReport(
             name=self.name,
             records=records,
@@ -436,4 +487,6 @@ class ServingSimulator:
             event_stats=loop.stats,
             registry=registry,
             tracer=tracer if tracer.enabled else None,
+            timeline=timeline_obj,
+            slo=slo_report,
         )

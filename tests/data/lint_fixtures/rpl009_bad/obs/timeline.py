@@ -1,0 +1,17 @@
+"""Violating fixture: sampling code touching tracer and wall clock."""
+
+import time
+
+
+class TimelineCollector:
+    def __init__(self, tracer, window_s):
+        self.tracer = tracer
+        self.window_s = window_s
+        self.started = time.perf_counter()  # RPL009: wall clock
+
+    def sample(self, now_s, sched):
+        if self.tracer.enabled:
+            # RPL009: guarded is still sampling-from-the-tracer.
+            self.tracer.event("sample", t_s=now_s)
+        self.tracer.step(now_s, [])  # RPL009 (and RPL003: unguarded)
+        return len(sched.waiting)

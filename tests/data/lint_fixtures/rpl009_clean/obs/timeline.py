@@ -1,0 +1,12 @@
+"""Clean fixture: sampling driven purely by simulated time."""
+
+
+class TimelineCollector:
+    def __init__(self, window_s):
+        self.window_s = window_s
+        self.next_sample_s = window_s
+
+    def sample(self, now_s, schedulers):
+        depth = sum(len(s.waiting) for s in schedulers)
+        self.next_sample_s = now_s + self.window_s
+        return depth

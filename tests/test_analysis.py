@@ -40,6 +40,7 @@ CASES = {
     "RPL006": ("rpl006_bad.py", "rpl006_clean.py", 1),
     "RPL007": ("rpl007_bad.py", "rpl007_clean.py", 3),
     "RPL008": ("rpl008_bad.py", "rpl008_clean.py", 2),
+    "RPL009": ("rpl009_bad", "rpl009_clean", 3),
 }
 
 
@@ -50,7 +51,7 @@ def run_fixture(name):
 
 
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         codes = [rule.code for rule in all_rules()]
         assert codes == sorted(CASES)
 

@@ -22,6 +22,10 @@ Checks:
    ``--trace-factor`` (default 1.5x) of the untraced wall clock —
    the "near-zero-cost when disabled, cheap when enabled" contract
    of the tracer's column-oriented buffers.
+4. Timeline-sampling overhead: the same simulation with windowed
+   time-series telemetry (``SimConfig(timeline=...)``) enabled must
+   stay within the same 1.5x allowance — SAMPLE events on the heap
+   plus per-window accumulation are O(windows), not O(events).
 
 Run with::
 
@@ -41,6 +45,7 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro.obs.timeline import TimelineConfig  # noqa: E402
 from repro.serve.api import SchedulerConfig, SimConfig  # noqa: E402
 from repro.serve.requests import Request  # noqa: E402
 from repro.serve.scheduler import KVBudget  # noqa: E402
@@ -61,14 +66,15 @@ def _run_example(path: Path) -> float:
     return time.perf_counter() - t0
 
 
-def _event_core_elapsed(n_requests: int, trace: bool = False) -> float:
+def _event_core_elapsed(n_requests: int, trace: bool = False,
+                        timeline: TimelineConfig | None = None) -> float:
     """Wall-clock seconds for a constant-cost sim of ``n_requests``."""
     requests = [Request(req_id=i, arrival_s=i * 0.0002, prompt_tokens=32,
                         output_tokens=8) for i in range(n_requests)]
     budget = KVBudget(capacity_bytes=4e6, bytes_per_token=1.0)
     sim = SimConfig(scheduler=SchedulerConfig(token_budget=4096,
                                               max_seqs=256),
-                    name="perf-smoke", trace=trace,
+                    name="perf-smoke", trace=trace, timeline=timeline,
                     max_iterations=50_000_000).build(budget,
                                                      _ConstantCostModel())
     t0 = time.perf_counter()
@@ -115,6 +121,14 @@ def main(argv=None) -> int:
           f"untraced {off_s:.2f} s, traced {on_s:.2f} s "
           f"({factor:.2f}x, max {args.trace_factor:.2f}x)")
 
+    tl_s = _event_core_elapsed(
+        args.trace_requests,
+        timeline=TimelineConfig(window_s=0.25, slo_ttft_s=0.5))
+    tl_factor = tl_s / off_s
+    print(f"timeline overhead: {args.trace_requests:,} requests, "
+          f"plain {off_s:.2f} s, sampled {tl_s:.2f} s "
+          f"({tl_factor:.2f}x, max {args.trace_factor:.2f}x)")
+
     failed = False
     if warm_s > args.budget_s:
         print(f"PERF REGRESSION: warm cluster_serving.py took "
@@ -127,6 +141,10 @@ def main(argv=None) -> int:
     if factor > args.trace_factor:
         print(f"PERF REGRESSION: tracing costs {factor:.2f}x > "
               f"{args.trace_factor:.2f}x allowance")
+        failed = True
+    if tl_factor > args.trace_factor:
+        print(f"PERF REGRESSION: timeline sampling costs "
+              f"{tl_factor:.2f}x > {args.trace_factor:.2f}x allowance")
         failed = True
     if not failed:
         print("perf smoke passed")
